@@ -1,0 +1,108 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out:
+//! Algorithm 1's thresholds, the IBS sampling period, and the khugepaged
+//! promotion rate. Each measures *simulated runtime* (the quantity the
+//! paper's thresholds were tuned against), reported via custom iteration
+//! so Criterion tracks the host cost of exploring each setting while the
+//! printed summary carries the simulated outcome.
+
+use carrefour::{CarrefourLp, LpThresholds};
+use criterion::{criterion_group, criterion_main, Criterion};
+use engine::{NullPolicy, SimConfig, Simulation};
+use numa_topology::MachineSpec;
+use vmem::ThpControls;
+use workloads::Benchmark;
+
+/// Runs UA.B under Carrefour-LP with given thresholds; returns simulated
+/// improvement over Linux-4K in percent.
+fn ua_improvement(machine: &MachineSpec, thresholds: LpThresholds) -> f64 {
+    let spec = Benchmark::UaB.spec(machine);
+    let small = SimConfig::for_machine(machine, ThpControls::small_only());
+    let base = Simulation::run(machine, &spec, &small, &mut NullPolicy);
+    let huge = SimConfig::for_machine(machine, ThpControls::thp());
+    let mut policy = CarrefourLp::new().with_thresholds(thresholds);
+    let r = Simulation::run(machine, &spec, &huge, &mut policy);
+    r.improvement_over(&base)
+}
+
+fn bench_threshold_ablation(c: &mut Criterion) {
+    let machine = MachineSpec::machine_a();
+    let mut group = c.benchmark_group("ablation_thresholds");
+    group.sample_size(10);
+    for (name, carrefour_gain, split_gain) in [
+        ("paper_15_5", 15.0, 5.0),
+        ("eager_split_15_1", 15.0, 1.0),
+        ("never_split_15_99", 15.0, 99.0),
+        ("migration_biased_1_5", 1.0, 5.0),
+    ] {
+        let thresholds = LpThresholds {
+            carrefour_gain_pp: carrefour_gain,
+            split_gain_pp: split_gain,
+            ..LpThresholds::default()
+        };
+        let outcome = ua_improvement(&machine, thresholds);
+        println!("ablation_thresholds/{name}: UA.B improvement {outcome:+.1}%");
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(ua_improvement(&machine, thresholds)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_period_ablation(c: &mut Criterion) {
+    let machine = MachineSpec::machine_a();
+    let spec = Benchmark::UaB.spec(&machine);
+    let mut group = c.benchmark_group("ablation_ibs_period");
+    group.sample_size(10);
+    for period in [64u64, 128, 512, 2048] {
+        let mut config = SimConfig::for_machine(&machine, ThpControls::thp());
+        config.ibs.period = period;
+        let name = format!("period_{period}");
+        let mut policy = CarrefourLp::new();
+        let r = Simulation::run(&machine, &spec, &config, &mut policy);
+        println!(
+            "ablation_ibs_period/{name}: runtime {} cycles, {} migrations",
+            r.runtime_cycles,
+            r.lifetime.vmem.migrations_4k + r.lifetime.vmem.migrations_2m
+        );
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut policy = CarrefourLp::new();
+                std::hint::black_box(Simulation::run(&machine, &spec, &config, &mut policy))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_khugepaged_rate_ablation(c: &mut Criterion) {
+    let machine = MachineSpec::machine_a();
+    let spec = Benchmark::Ssca.spec(&machine);
+    let mut group = c.benchmark_group("ablation_khugepaged");
+    group.sample_size(10);
+    for limit in [0usize, 4, 24, 96] {
+        let mut config = SimConfig::for_machine(&machine, ThpControls::thp());
+        config.khugepaged_scan_limit = limit;
+        let name = format!("scan_limit_{limit}");
+        let mut policy = CarrefourLp::new();
+        let r = Simulation::run(&machine, &spec, &config, &mut policy);
+        println!(
+            "ablation_khugepaged/{name}: runtime {} cycles, {} collapses",
+            r.runtime_cycles, r.lifetime.vmem.collapses
+        );
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut policy = CarrefourLp::new();
+                std::hint::black_box(Simulation::run(&machine, &spec, &config, &mut policy))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threshold_ablation,
+    bench_sampling_period_ablation,
+    bench_khugepaged_rate_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmarks of whole-simulation throughput: how fast the
+//! simulator replays each paper configuration (not the simulated time —
+//! the host time per run).
+
+use carrefour_bench::{run_cell, PolicyKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_topology::MachineSpec;
+use workloads::Benchmark;
+
+fn bench_simulation_runs(c: &mut Criterion) {
+    let machine = MachineSpec::machine_a();
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for (name, bench, kind) in [
+        ("kmeans_linux", Benchmark::Kmeans, PolicyKind::Linux4k),
+        ("kmeans_thp", Benchmark::Kmeans, PolicyKind::LinuxThp),
+        ("cg_carrefour_lp", Benchmark::CgD, PolicyKind::CarrefourLp),
+        ("ua_carrefour_2m", Benchmark::UaB, PolicyKind::Carrefour2m),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(run_cell(&machine, bench, kind)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation_runs);
+criterion_main!(benches);

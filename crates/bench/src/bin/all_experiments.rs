@@ -1,0 +1,27 @@
+//! Runs every experiment binary's logic in sequence (convenience driver for
+//! regenerating EXPERIMENTS.md's data in one go).
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for name in [
+        "fig1",
+        "table1",
+        "fig2",
+        "table2",
+        "fig3",
+        "fig4",
+        "table3",
+        "fig5",
+        "overhead",
+        "verylarge",
+    ] {
+        println!("################ {name} ################");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "{name} failed");
+    }
+}

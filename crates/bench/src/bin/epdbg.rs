@@ -1,0 +1,32 @@
+//! One-off calibration debug.
+use carrefour_bench::{run_cell, PolicyKind};
+use numa_topology::MachineSpec;
+use workloads::Benchmark;
+
+fn main() {
+    let machine = MachineSpec::machine_a();
+    let r = run_cell(
+        &machine,
+        Benchmark::Streamcluster,
+        PolicyKind::CarrefourLp1g,
+    );
+    println!(
+        "total {} mig {} split {} coll {} ovh {}",
+        r.runtime_cycles,
+        r.lifetime.vmem.migrations_4k + r.lifetime.vmem.migrations_2m,
+        r.lifetime.vmem.splits,
+        r.lifetime.vmem.collapses,
+        r.lifetime.overhead_cycles
+    );
+    for (i, e) in r.epochs.iter().enumerate().take(12) {
+        println!(
+            "  ep{i} cyc {} lar {:.2} imb {:.1} mig {} split {} ovh {}",
+            e.counters.epoch_cycles,
+            e.counters.lar(),
+            e.counters.imbalance(),
+            e.migrations,
+            e.splits,
+            e.overhead_cycles
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Calibration probe: detailed Table 1-style metrics for chosen benchmarks.
+//!
+//! Usage: `probe [bench-name ...]` (default: the paper's Table 1 set).
+
+use carrefour_bench::{run_cell, PolicyKind};
+use numa_topology::MachineSpec;
+use workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<Benchmark> = if args.is_empty() {
+        vec![
+            Benchmark::CgD,
+            Benchmark::UaC,
+            Benchmark::Wc,
+            Benchmark::Ssca,
+            Benchmark::SpecJbb,
+        ]
+    } else {
+        Benchmark::all()
+            .iter()
+            .copied()
+            .filter(|b| args.iter().any(|a| a.eq_ignore_ascii_case(b.name())))
+            .collect()
+    };
+
+    for machine in [MachineSpec::machine_a(), MachineSpec::machine_b()] {
+        println!("--- {} ---", machine.name());
+        println!(
+            "{:<16} {:<14} {:>10} {:>6} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+            "bench",
+            "policy",
+            "cycles",
+            "lar",
+            "imbal",
+            "walk%",
+            "fault%",
+            "tlbmiss",
+            "mig",
+            "splits"
+        );
+        for &b in &selected {
+            for kind in [PolicyKind::Linux4k, PolicyKind::LinuxThp] {
+                let r = run_cell(&machine, b, kind);
+                let reqs: Vec<u64> = r.epochs.iter().fold(Vec::new(), |mut acc, e| {
+                    if acc.is_empty() {
+                        acc = vec![0; e.counters.controller_requests.len()];
+                    }
+                    for (a, b) in acc.iter_mut().zip(&e.counters.controller_requests) {
+                        *a += b;
+                    }
+                    acc
+                });
+                let dram: u64 = r
+                    .epochs
+                    .iter()
+                    .map(|e| e.counters.dram_local + e.counters.dram_remote)
+                    .sum();
+                println!(
+                    "    controllers: {reqs:?} dram/op {:.3}",
+                    dram as f64 / r.lifetime.total_ops as f64
+                );
+                println!(
+                    "{:<16} {:<14} {:>10} {:>6.2} {:>7.1} {:>7.1} {:>7.1} {:>7.3} {:>8} {:>8}",
+                    b.name(),
+                    kind.label(),
+                    r.runtime_cycles,
+                    r.lifetime.lar,
+                    r.lifetime.imbalance,
+                    r.lifetime.walk_miss_fraction * 100.0,
+                    r.lifetime.max_fault_fraction * 100.0,
+                    r.lifetime.tlb_miss_ratio,
+                    r.lifetime.vmem.migrations_4k + r.lifetime.vmem.migrations_2m,
+                    r.lifetime.vmem.splits,
+                );
+            }
+        }
+        println!();
+    }
+}

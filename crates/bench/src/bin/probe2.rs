@@ -1,0 +1,43 @@
+//! Calibration probe over the full policy matrix for selected benchmarks.
+use carrefour_bench::{run_cell, PolicyKind};
+use numa_topology::MachineSpec;
+use workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches: Vec<Benchmark> = Benchmark::all()
+        .iter()
+        .copied()
+        .filter(|b| args.iter().any(|a| a.eq_ignore_ascii_case(b.name())))
+        .collect();
+    let policies = [
+        PolicyKind::Linux4k,
+        PolicyKind::LinuxThp,
+        PolicyKind::Carrefour2m,
+        PolicyKind::ReactiveOnly,
+        PolicyKind::ConservativeOnly,
+        PolicyKind::CarrefourLp,
+    ];
+    for machine in [MachineSpec::machine_a(), MachineSpec::machine_b()] {
+        println!("--- {} ---", machine.name());
+        for &b in &benches {
+            let base = run_cell(&machine, b, PolicyKind::Linux4k);
+            for kind in policies {
+                let r = run_cell(&machine, b, kind);
+                println!(
+                    "{:<12} {:<14} {:>10} imp {:>6.1} lar {:>5.2} imb {:>6.1} mig {:>6} split {:>5} coll {:>5} ovh% {:>4.1}",
+                    b.name(),
+                    kind.label(),
+                    r.runtime_cycles,
+                    r.improvement_over(&base),
+                    r.lifetime.lar,
+                    r.lifetime.imbalance,
+                    r.lifetime.vmem.migrations_4k + r.lifetime.vmem.migrations_2m,
+                    r.lifetime.vmem.splits,
+                    r.lifetime.vmem.collapses,
+                    r.lifetime.overhead_cycles as f64 / r.runtime_cycles as f64 / machine.total_cores() as f64 * 100.0,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Ablation: read-only page replication (the original Carrefour's third
+//! mechanism, which this paper's Carrefour summary omits).
+//!
+//! A read-mostly shared workload (lookup tables, graph structure) leaves
+//! interleaving as the best the migrate/interleave policy can do — every
+//! node still misses 1-1/N of its accesses remotely. Replication gives each
+//! node a local copy and converts all of them to local hits.
+
+use carrefour::Carrefour;
+use engine::{NullPolicy, SimConfig, SimResult, Simulation};
+use numa_topology::MachineSpec;
+use vmem::ThpControls;
+use workloads::{AccessPattern, RegionSpec, WorkloadSpec};
+
+fn read_mostly_workload(machine: &MachineSpec) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "read-mostly".into(),
+        threads: machine.total_cores(),
+        regions: vec![
+            // A shared lookup structure, never written after setup.
+            RegionSpec {
+                base: 64 << 30,
+                bytes: 48 << 20,
+                share: 0.8,
+                pattern: AccessPattern::SharedUniform,
+                alloc_skew: 1.0, // loader-built, all on node 0
+                loader_headers: 0.0,
+                rw_shared: false,
+                read_only: true,
+            },
+            // Small private scratch (the writes go here).
+            RegionSpec {
+                base: 66 << 30,
+                bytes: (machine.total_cores() as u64) << 21,
+                share: 0.2,
+                pattern: AccessPattern::PrivateBlocked {
+                    block_bytes: 256 * 1024,
+                    dwell_ops: 1500,
+                },
+                alloc_skew: 0.0,
+                loader_headers: 0.0,
+                rw_shared: false,
+                read_only: false,
+            },
+        ],
+        ops_per_round: 1000,
+        compute_rounds: 250,
+        think_cycles_per_op: 8,
+        // Writes land only in the private scratch; the lookup structure is
+        // read-only after the loader builds it.
+        write_fraction: 0.3,
+        phases: Vec::new(),
+        mlp: 1,
+    }
+}
+
+fn main() {
+    let machine = MachineSpec::machine_b();
+    let spec = read_mostly_workload(&machine);
+    let mut config = SimConfig::for_machine(&machine, ThpControls::small_only());
+    // Dense sampling: replication coverage is sample-bound.
+    config.ibs.period = 48;
+    config.ibs.sample_overhead_cycles = 400;
+
+    let runs: Vec<(&str, SimResult)> = vec![
+        (
+            "Linux-4K",
+            Simulation::run(&machine, &spec, &config, &mut NullPolicy),
+        ),
+        (
+            "Carrefour",
+            Simulation::run(&machine, &spec, &config, &mut Carrefour::new()),
+        ),
+        (
+            "Carrefour+repl",
+            Simulation::run(&machine, &spec, &config, &mut Carrefour::with_replication()),
+        ),
+    ];
+
+    println!(
+        "read-mostly shared data on {} (loader-built on node 0):\n",
+        machine.name()
+    );
+    println!(
+        "{:<16} {:>12} {:>9} {:>6} {:>11} {:>10} {:>10}",
+        "system", "runtime(ms)", "vs Linux", "LAR%", "imbalance%", "replicas", "collapses"
+    );
+    let base_cycles = runs[0].1.runtime_cycles;
+    for (label, r) in &runs {
+        println!(
+            "{:<16} {:>12.2} {:>+8.1}% {:>6.0} {:>11.1} {:>10} {:>10}",
+            label,
+            r.runtime_ms,
+            (base_cycles as f64 / r.runtime_cycles as f64 - 1.0) * 100.0,
+            r.lifetime.lar * 100.0,
+            r.lifetime.imbalance,
+            r.lifetime.vmem.replications,
+            r.lifetime.vmem.replica_collapses,
+        );
+    }
+    println!(
+        "\nInterleaving balances the controllers but leaves most accesses \
+         remote; replication converts them to local hits (watch the LAR \
+         column). At this simulation's run lengths the copy cost and the \
+         per-node cold misses offset the latency savings, so runtime is at \
+         parity — on the paper's minutes-long runs the balance tips to \
+         replication, which is why the original Carrefour carried the \
+         mechanism even though the 2014 paper's write-heavy benchmarks \
+         rarely engaged it."
+    );
+}

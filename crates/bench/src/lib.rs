@@ -1,0 +1,222 @@
+//! Experiment harness shared by the `fig*`/`table*` binaries.
+//!
+//! Provides the policy matrix of the paper's evaluation, a parallel runner
+//! (independent simulations fan out across host cores), and the formatting
+//! used to print each figure and table in the paper's layout. Results are
+//! also written as JSON under `results/` so EXPERIMENTS.md can be
+//! regenerated mechanically.
+
+use carrefour::{Carrefour, CarrefourLp};
+use engine::{NullPolicy, NumaPolicy, SimConfig, SimResult, Simulation};
+use numa_topology::MachineSpec;
+use serde::{Deserialize, Serialize};
+use vmem::ThpControls;
+use workloads::Benchmark;
+
+/// Every system configuration the paper evaluates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Default Linux, 4 KiB pages (every figure's baseline).
+    Linux4k,
+    /// Linux with transparent huge pages ("THP").
+    LinuxThp,
+    /// Carrefour on 4 KiB pages (the original system).
+    Carrefour4k,
+    /// Carrefour running under THP ("Carrefour-2M").
+    Carrefour2m,
+    /// Carrefour-4K plus the conservative component (Figure 4).
+    ConservativeOnly,
+    /// Carrefour-2M plus the reactive component (Figure 4).
+    ReactiveOnly,
+    /// Full Carrefour-LP (Algorithm 1).
+    CarrefourLp,
+    /// Linux with 1 GiB pages (Section 4.4's libhugetlbfs setup).
+    Linux1g,
+    /// Carrefour-LP starting from 1 GiB pages (Section 4.4).
+    CarrefourLp1g,
+}
+
+impl PolicyKind {
+    /// The THP switches the simulation starts with under this policy.
+    pub fn initial_thp(self) -> ThpControls {
+        match self {
+            PolicyKind::Linux4k | PolicyKind::Carrefour4k | PolicyKind::ConservativeOnly => {
+                ThpControls::small_only()
+            }
+            PolicyKind::LinuxThp
+            | PolicyKind::Carrefour2m
+            | PolicyKind::ReactiveOnly
+            | PolicyKind::CarrefourLp => ThpControls::thp(),
+            PolicyKind::Linux1g | PolicyKind::CarrefourLp1g => ThpControls::giant(),
+        }
+    }
+
+    /// Instantiates the policy object.
+    pub fn make(self) -> Box<dyn NumaPolicy> {
+        match self {
+            PolicyKind::Linux4k | PolicyKind::LinuxThp | PolicyKind::Linux1g => {
+                Box::new(NullPolicy)
+            }
+            PolicyKind::Carrefour4k | PolicyKind::Carrefour2m => Box::new(Carrefour::new()),
+            PolicyKind::ConservativeOnly => Box::new(CarrefourLp::conservative_only()),
+            PolicyKind::ReactiveOnly => Box::new(CarrefourLp::reactive_only()),
+            PolicyKind::CarrefourLp | PolicyKind::CarrefourLp1g => Box::new(CarrefourLp::new()),
+        }
+    }
+
+    /// Display label, matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Linux4k => "Linux",
+            PolicyKind::LinuxThp => "THP",
+            PolicyKind::Carrefour4k => "Carrefour-4K",
+            PolicyKind::Carrefour2m => "Carrefour-2M",
+            PolicyKind::ConservativeOnly => "Conservative",
+            PolicyKind::ReactiveOnly => "Reactive",
+            PolicyKind::CarrefourLp => "Carrefour-LP",
+            PolicyKind::Linux1g => "Linux-1G",
+            PolicyKind::CarrefourLp1g => "Carrefour-LP-1G",
+        }
+    }
+}
+
+/// The two evaluation machines.
+pub fn machines() -> Vec<MachineSpec> {
+    vec![MachineSpec::machine_a(), MachineSpec::machine_b()]
+}
+
+/// Runs one (machine, benchmark, policy) cell.
+pub fn run_cell(machine: &MachineSpec, bench: Benchmark, kind: PolicyKind) -> SimResult {
+    let config = SimConfig::for_machine(machine, kind.initial_thp());
+    let spec = bench.spec(machine);
+    let mut policy = kind.make();
+    let mut result = Simulation::run(machine, &spec, &config, policy.as_mut());
+    result.policy = kind.label().to_string();
+    result
+}
+
+/// One row of an experiment output file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Cell {
+    /// Machine name ("machine-a" / "machine-b").
+    pub machine: String,
+    /// Benchmark label as the paper prints it.
+    pub benchmark: String,
+    /// Policy label as the paper prints it.
+    pub policy: String,
+    /// The full simulation result.
+    pub result: SimResult,
+}
+
+/// Runs a full (benchmark × policy) matrix on one machine, in parallel
+/// across host cores, preserving deterministic per-cell results.
+pub fn run_matrix(
+    machine: &MachineSpec,
+    benches: &[Benchmark],
+    policies: &[PolicyKind],
+) -> Vec<Cell> {
+    let mut jobs: Vec<(Benchmark, PolicyKind)> = Vec::new();
+    for &b in benches {
+        for &p in policies {
+            jobs.push((b, p));
+        }
+    }
+    let results: Vec<Cell> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(b, p)| {
+                s.spawn(move |_| {
+                    let r = run_cell(machine, b, p);
+                    Cell {
+                        machine: machine.name().to_string(),
+                        benchmark: b.name().to_string(),
+                        policy: p.label().to_string(),
+                        result: r,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sim panicked"))
+            .collect()
+    })
+    .expect("scope");
+    results
+}
+
+/// Finds the cell for `(benchmark, policy)` in a matrix result.
+pub fn find(cells: &[Cell], bench: Benchmark, policy: PolicyKind) -> &Cell {
+    cells
+        .iter()
+        .find(|c| c.benchmark == bench.name() && c.policy == policy.label())
+        .unwrap_or_else(|| panic!("missing cell {} / {}", bench.name(), policy.label()))
+}
+
+/// Percent improvement of `policy` over `baseline` for one benchmark
+/// (the paper's y-axis: positive = faster than default Linux).
+pub fn improvement(
+    cells: &[Cell],
+    bench: Benchmark,
+    policy: PolicyKind,
+    baseline: PolicyKind,
+) -> f64 {
+    let p = find(cells, bench, policy);
+    let b = find(cells, bench, baseline);
+    p.result.improvement_over(&b.result)
+}
+
+/// Writes cells as pretty JSON under `results/<name>.json` (best effort —
+/// experiments still print their tables when the directory is read-only).
+pub fn save_json(name: &str, cells: &[Cell]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(cells) {
+        let _ = std::fs::write(path, json);
+    }
+}
+
+/// Formats a signed percentage the way the paper's figures label bars.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_kinds_have_consistent_thp() {
+        assert!(!PolicyKind::Linux4k.initial_thp().alloc_2m);
+        assert!(PolicyKind::LinuxThp.initial_thp().alloc_2m);
+        assert!(PolicyKind::Linux1g.initial_thp().alloc_1g);
+        assert!(!PolicyKind::ConservativeOnly.initial_thp().alloc_2m);
+        assert!(PolicyKind::ReactiveOnly.initial_thp().alloc_2m);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let kinds = [
+            PolicyKind::Linux4k,
+            PolicyKind::LinuxThp,
+            PolicyKind::Carrefour4k,
+            PolicyKind::Carrefour2m,
+            PolicyKind::ConservativeOnly,
+            PolicyKind::ReactiveOnly,
+            PolicyKind::CarrefourLp,
+            PolicyKind::Linux1g,
+            PolicyKind::CarrefourLp1g,
+        ];
+        let labels: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+
+    #[test]
+    fn fmt_pct_signs() {
+        assert_eq!(fmt_pct(12.34), "+12.3%");
+        assert_eq!(fmt_pct(-5.0), "-5.0%");
+    }
+}

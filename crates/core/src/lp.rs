@@ -1,0 +1,467 @@
+//! Carrefour-LP: Algorithm 1 of the paper.
+
+use crate::classic::Carrefour;
+use crate::config::{CarrefourConfig, LpThresholds};
+use crate::lar;
+use engine::{EpochCtx, NumaPolicy, PolicyAction};
+use profiling::IbsSample;
+use std::collections::{BTreeMap, BTreeSet};
+use vmem::PageSize;
+
+/// Which Algorithm 1 components are active (Figure 4's ablation axes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Components {
+    conservative: bool,
+    reactive: bool,
+}
+
+/// The large-page extension of Carrefour (Algorithm 1).
+///
+/// Per epoch:
+///
+/// 1. **Conservative** (lines 4–9): re-enable 2 MiB allocation (and
+///    promotion) when walk misses or page-fault time show large pages
+///    would pay off.
+/// 2. **Reactive** (lines 10–18): estimate the LAR Carrefour could reach
+///    with and without splitting; when only splitting helps, split every
+///    shared 2 MiB page and disable 2 MiB allocation.
+/// 3. **Hot pages** (line 19): split pages hotter than 6 % of sampled
+///    traffic and interleave their sub-pages.
+/// 4. **Carrefour** (line 20): the baseline migrate/interleave pass.
+pub struct CarrefourLp {
+    carrefour: Carrefour,
+    thresholds: LpThresholds,
+    components: Components,
+    /// Algorithm 1's sticky `SPLIT_PAGES` flag.
+    split_pages: bool,
+    /// Every 2 MiB base this policy has ever split. A page is split at most
+    /// once: if the conservative component later re-enables promotion and
+    /// khugepaged re-collapses it (onto its majority node — i.e. placed),
+    /// re-splitting it would only start an oscillation.
+    split_history: std::collections::BTreeSet<u64>,
+    name: &'static str,
+}
+
+impl CarrefourLp {
+    /// Splits a huge page and scatters its sub-pages across the nodes (one
+    /// batched kernel operation); private sub-pages are re-localized later
+    /// when samples identify their owners.
+    fn split_and_scatter(&mut self, ctx: &mut EpochCtx<'_>, base: u64) {
+        ctx.split_scatter(base);
+        for i in 0..512u64 {
+            self.carrefour.mark_interleaved(base + i * 4096);
+        }
+    }
+
+    /// Full Carrefour-LP (both components).
+    pub fn new() -> Self {
+        CarrefourLp {
+            carrefour: Carrefour::new(),
+            thresholds: LpThresholds::default(),
+            components: Components {
+                conservative: true,
+                reactive: true,
+            },
+            split_pages: false,
+            split_history: std::collections::BTreeSet::new(),
+            name: "carrefour-lp",
+        }
+    }
+
+    /// The reactive-only ablation of Figure 4 (run it with THP initially
+    /// enabled, like the paper).
+    pub fn reactive_only() -> Self {
+        CarrefourLp {
+            components: Components {
+                conservative: false,
+                reactive: true,
+            },
+            name: "reactive",
+            ..CarrefourLp::new()
+        }
+    }
+
+    /// The conservative-only ablation of Figure 4 (run it with THP
+    /// initially *disabled*: it is the original 4 KiB Carrefour plus the
+    /// component that turns large pages on when they would help).
+    pub fn conservative_only() -> Self {
+        CarrefourLp {
+            components: Components {
+                conservative: true,
+                reactive: false,
+            },
+            name: "conservative",
+            ..CarrefourLp::new()
+        }
+    }
+
+    /// Overrides the Algorithm 1 thresholds (ablation benches).
+    pub fn with_thresholds(mut self, thresholds: LpThresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Overrides the embedded Carrefour configuration and seed.
+    pub fn with_carrefour(mut self, cfg: CarrefourConfig, seed: u64) -> Self {
+        self.carrefour = Carrefour::with_config(cfg, seed);
+        self
+    }
+
+    /// Current value of the sticky `SPLIT_PAGES` flag (for tests).
+    pub fn split_flag(&self) -> bool {
+        self.split_pages
+    }
+
+    /// The effective 2 MiB-allocation switch after this epoch's queued
+    /// toggles are applied on top of the current state.
+    fn effective_alloc_2m(ctx: &EpochCtx<'_>) -> bool {
+        let mut on = ctx.thp.alloc_2m;
+        for a in ctx.queued() {
+            if let PolicyAction::SetThpAlloc(b) = a {
+                on = *b;
+            }
+        }
+        on
+    }
+}
+
+impl Default for CarrefourLp {
+    fn default() -> Self {
+        CarrefourLp::new()
+    }
+}
+
+/// Groups one epoch's DRAM samples by page at current mapped granularity.
+/// Returns `(page, size, accessing-node set size, sample count, sampled 4 KiB
+/// sub-pages)` keyed by page base.
+struct LargePageView {
+    size: PageSize,
+    nodes: BTreeSet<u16>,
+    count: u32,
+    subpages: BTreeSet<u64>,
+}
+
+fn group_large_pages(samples: &[IbsSample]) -> BTreeMap<u64, LargePageView> {
+    let mut pages: BTreeMap<u64, LargePageView> = BTreeMap::new();
+    for s in samples {
+        if !s.from_dram {
+            continue;
+        }
+        let entry = pages.entry(s.page_base()).or_insert_with(|| LargePageView {
+            size: s.page_size,
+            nodes: BTreeSet::new(),
+            count: 0,
+            subpages: BTreeSet::new(),
+        });
+        entry.nodes.insert(s.accessing_node.0);
+        entry.count += 1;
+        entry.subpages.insert(s.page_4k());
+    }
+    pages
+}
+
+impl NumaPolicy for CarrefourLp {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>) {
+        let t = self.thresholds;
+
+        // --- Conservative component (Algorithm 1, lines 4–9). ---
+        if self.components.conservative {
+            if ctx.counters.walk_miss_fraction() > t.walk_miss_enable {
+                ctx.set_thp_alloc(true);
+                ctx.set_thp_promote(true);
+            } else if ctx.counters.max_fault_fraction() > t.fault_time_enable {
+                // Allocation only: pages that already faulted cheaply have
+                // nothing to gain from promotion.
+                ctx.set_thp_alloc(true);
+            }
+        }
+
+        let mut split_pending: BTreeSet<u64> = BTreeSet::new();
+        let mut hot_excluded: BTreeSet<u64> = BTreeSet::new();
+
+        // --- Reactive component (lines 10–18). ---
+        if self.components.reactive {
+            let est = lar::estimate(ctx.samples, ctx.machine.num_nodes());
+            if est.dram_samples > 0 {
+                if est.carrefour_gain_pp() > t.carrefour_gain_pp {
+                    self.split_pages = false;
+                } else if est.split_gain_pp() > t.split_gain_pp {
+                    self.split_pages = true;
+                }
+            }
+
+            let pages = group_large_pages(ctx.samples);
+            let total: u32 = pages.values().map(|p| p.count).sum();
+
+            if self.split_pages || !Self::effective_alloc_2m(ctx) {
+                // Line 16: split all *shared* large pages (each at most
+                // once — see `split_history`).
+                for (&base, view) in &pages {
+                    if view.size != PageSize::Size4K
+                        && view.nodes.len() >= 2
+                        && !self.split_history.contains(&base)
+                    {
+                        split_pending.insert(base);
+                        self.split_history.insert(base);
+                        self.carrefour.forget(base);
+                        self.split_and_scatter(ctx, base);
+                    }
+                }
+                // Line 17: stop creating new large pages.
+                ctx.set_thp_alloc(false);
+                ctx.set_thp_promote(false);
+            }
+
+            // Line 19: split and interleave hot large pages. Hot pages only
+            // hurt through the imbalance they cause (they cannot be
+            // rebalanced by migration), so the pass engages when the
+            // controllers actually are imbalanced — otherwise a workload
+            // with few sampled pages would see every page as "hot" and
+            // needlessly lose its large pages.
+            let imbalanced =
+                ctx.counters.imbalance() > self.carrefour.config().imbalance_enable_above;
+            let min_hot_samples = (self.carrefour.config().min_samples_per_page * 4) as u32;
+            for (&base, view) in &pages {
+                if imbalanced
+                    && view.size != PageSize::Size4K
+                    && view.count >= min_hot_samples
+                    && f64::from(view.count) > t.hot_page_fraction * f64::from(total)
+                {
+                    if !split_pending.contains(&base) && !self.split_history.contains(&base) {
+                        split_pending.insert(base);
+                        self.split_history.insert(base);
+                        self.carrefour.forget(base);
+                        self.split_and_scatter(ctx, base);
+                    }
+                    for &sub in &view.subpages {
+                        hot_excluded.insert(sub);
+                    }
+                    // The huge page itself must not be re-placed wholesale.
+                    hot_excluded.insert(base);
+                }
+            }
+        }
+
+        // --- Line 20: interleave and migrate with Carrefour. ---
+        if self.carrefour.engaged(ctx.counters) {
+            self.carrefour
+                .placement_pass(ctx, &split_pending, &self.split_history, &hot_excluded);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::{MachineSpec, NodeId};
+    use profiling::{CoreFaultTime, EpochCounters};
+    use vmem::{ThpControls, VirtAddr};
+
+    fn sample(vaddr: u64, accessing: u16, home: u16, size: PageSize) -> IbsSample {
+        IbsSample {
+            vaddr: VirtAddr(vaddr),
+            accessing_node: NodeId(accessing),
+            thread: accessing,
+            home_node: NodeId(home),
+            from_dram: true,
+            is_store: false,
+            page_size: size,
+        }
+    }
+
+    fn quiet_counters() -> EpochCounters {
+        EpochCounters {
+            epoch_cycles: 1_000_000,
+            l2_misses: 1000,
+            l2_walk_misses: 0,
+            dram_local: 900,
+            dram_remote: 100,
+            mem_ops: 10_000,
+            ..EpochCounters::default()
+        }
+    }
+
+    fn ctx_with<'a>(
+        machine: &'a MachineSpec,
+        counters: &'a EpochCounters,
+        samples: &'a [IbsSample],
+        thp: ThpControls,
+    ) -> EpochCtx<'a> {
+        EpochCtx::new(machine, counters, samples, thp, 0)
+    }
+
+    #[test]
+    fn conservative_enables_thp_on_walk_misses() {
+        let machine = MachineSpec::machine_a();
+        let mut counters = quiet_counters();
+        counters.l2_walk_misses = 200; // 20 % of misses
+        let mut ctx = ctx_with(&machine, &counters, &[], ThpControls::small_only());
+        CarrefourLp::conservative_only().on_epoch(&mut ctx);
+        let actions = ctx.take_actions();
+        assert!(actions.contains(&PolicyAction::SetThpAlloc(true)));
+        assert!(actions.contains(&PolicyAction::SetThpPromote(true)));
+    }
+
+    #[test]
+    fn conservative_enables_alloc_only_on_fault_time() {
+        let machine = MachineSpec::machine_a();
+        let mut counters = quiet_counters();
+        counters.fault_time = vec![CoreFaultTime {
+            fault_cycles: 100_000, // 10 % of the epoch
+        }];
+        let mut ctx = ctx_with(&machine, &counters, &[], ThpControls::small_only());
+        CarrefourLp::conservative_only().on_epoch(&mut ctx);
+        let actions = ctx.take_actions();
+        assert!(actions.contains(&PolicyAction::SetThpAlloc(true)));
+        assert!(!actions.contains(&PolicyAction::SetThpPromote(true)));
+    }
+
+    #[test]
+    fn conservative_stays_quiet_below_thresholds() {
+        let machine = MachineSpec::machine_a();
+        let counters = quiet_counters();
+        let mut ctx = ctx_with(&machine, &counters, &[], ThpControls::small_only());
+        CarrefourLp::conservative_only().on_epoch(&mut ctx);
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    /// UA-shaped samples: a huge page whose sub-pages are private per node.
+    fn falsely_shared_samples() -> Vec<IbsSample> {
+        let mut s = Vec::new();
+        for i in 0..8u64 {
+            let node = (i % 4) as u16;
+            for k in 0..4 {
+                s.push(sample(
+                    0x20_0000 + i * 4096 + k * 64,
+                    node,
+                    0,
+                    PageSize::Size2M,
+                ));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn reactive_splits_falsely_shared_pages_and_disables_thp() {
+        let machine = MachineSpec::machine_a();
+        // Low LAR so Carrefour engages; shared page means carrefour-only
+        // gain is small but split gain is ~75 pp.
+        let mut counters = quiet_counters();
+        counters.dram_local = 100;
+        counters.dram_remote = 900;
+        let samples = falsely_shared_samples();
+        let mut lp = CarrefourLp::reactive_only();
+        let mut ctx = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+        lp.on_epoch(&mut ctx);
+        assert!(lp.split_flag());
+        let actions = ctx.take_actions();
+        // Shared pages are split-and-scattered in one batched operation.
+        assert!(actions.contains(&PolicyAction::SplitScatter(0x20_0000)));
+        assert!(actions.contains(&PolicyAction::SetThpAlloc(false)));
+    }
+
+    #[test]
+    fn reactive_prefers_migration_when_it_suffices() {
+        // Single-node remote pages: Carrefour alone predicts +90 pp, so
+        // SPLIT_PAGES stays false and no Split is issued.
+        let machine = MachineSpec::machine_a();
+        let mut counters = quiet_counters();
+        counters.dram_local = 100;
+        counters.dram_remote = 900;
+        let mut samples = Vec::new();
+        for p in 0..4u64 {
+            for k in 0..4 {
+                samples.push(sample(
+                    (0x20_0000 * (p + 1)) + k * 64,
+                    1,
+                    0,
+                    PageSize::Size2M,
+                ));
+            }
+        }
+        let mut lp = CarrefourLp::reactive_only();
+        let mut ctx = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+        lp.on_epoch(&mut ctx);
+        assert!(!lp.split_flag());
+        let actions = ctx.take_actions();
+        assert!(!actions.iter().any(|a| matches!(a, PolicyAction::Split(_))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, PolicyAction::Migrate(_, NodeId(1)))));
+    }
+
+    #[test]
+    fn hot_pages_are_split_and_interleaved() {
+        // One page with 90 % of the samples: hot. CG's profile.
+        let machine = MachineSpec::machine_b();
+        let mut counters = quiet_counters();
+        counters.dram_local = 500;
+        counters.dram_remote = 500;
+        counters.controller_requests = vec![800, 10, 10, 10, 10, 10, 10, 10];
+        let mut samples = Vec::new();
+        for k in 0..36u64 {
+            samples.push(sample(
+                0x20_0000 + (k % 6) * 4096,
+                (k % 4) as u16,
+                0,
+                PageSize::Size2M,
+            ));
+        }
+        for k in 0..4u64 {
+            samples.push(sample(0x80_0000 + k * 64, 0, 0, PageSize::Size2M));
+        }
+        let mut lp = CarrefourLp::new();
+        let mut ctx = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+        lp.on_epoch(&mut ctx);
+        let actions = ctx.take_actions();
+        // The hot page is split and scattered in one batched operation.
+        assert!(actions.contains(&PolicyAction::SplitScatter(0x20_0000)));
+    }
+
+    #[test]
+    fn full_lp_can_reenable_thp_after_splitting() {
+        // Epoch 1: splitting was engaged. Epoch 2: heavy walk misses.
+        // The conservative component must re-enable THP.
+        let machine = MachineSpec::machine_a();
+        let mut lp = CarrefourLp::new();
+        lp.split_pages = true;
+
+        let mut counters = quiet_counters();
+        counters.l2_walk_misses = 300;
+        // Carrefour-only gain is large (single-node remote pages), so the
+        // reactive component clears SPLIT_PAGES.
+        let mut samples = Vec::new();
+        for p in 0..4u64 {
+            for k in 0..4 {
+                samples.push(sample(
+                    (0x20_0000 * (p + 1)) + k * 64,
+                    1,
+                    0,
+                    PageSize::Size4K,
+                ));
+            }
+        }
+        counters.dram_local = 100;
+        counters.dram_remote = 900;
+        let mut ctx = ctx_with(&machine, &counters, &samples, ThpControls::small_only());
+        lp.on_epoch(&mut ctx);
+        let actions = ctx.take_actions();
+        assert!(actions.contains(&PolicyAction::SetThpAlloc(true)));
+        assert!(actions.contains(&PolicyAction::SetThpPromote(true)));
+        assert!(!lp.split_flag());
+        // No splitting got queued: alloc was re-enabled this very epoch.
+        assert!(!actions.iter().any(|a| matches!(a, PolicyAction::Split(_))));
+    }
+
+    #[test]
+    fn names_distinguish_the_ablations() {
+        assert_eq!(CarrefourLp::new().name(), "carrefour-lp");
+        assert_eq!(CarrefourLp::reactive_only().name(), "reactive");
+        assert_eq!(CarrefourLp::conservative_only().name(), "conservative");
+    }
+}

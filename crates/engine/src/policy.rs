@@ -1,0 +1,165 @@
+//! The policy hook: what Carrefour and Carrefour-LP plug into.
+
+use numa_topology::{MachineSpec, NodeId};
+use profiling::{EpochCounters, IbsSample};
+use vmem::ThpControls;
+
+/// An action a policy requests at an epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Migrate the page covering this virtual address to the node.
+    Migrate(u64, NodeId),
+    /// Split the huge/giant page covering this virtual address.
+    Split(u64),
+    /// Split the huge page covering this virtual address and scatter its
+    /// 4 KiB sub-pages across all nodes (one batched demote-and-spread
+    /// operation, as the kernel performs it under a single lock pass).
+    SplitScatter(u64),
+    /// Replicate the read-mostly 4 KiB page covering this virtual address
+    /// onto every node (the Carrefour replication extension).
+    Replicate(u64),
+    /// Enable or disable 2 MiB allocation at fault time.
+    SetThpAlloc(bool),
+    /// Enable or disable khugepaged promotion.
+    SetThpPromote(bool),
+}
+
+/// Everything a policy can observe and do at one epoch boundary.
+///
+/// Mirrors what the paper's kernel module sees: performance counters,
+/// IBS samples, and the THP sysfs knobs. Policies cannot inspect page
+/// tables directly — all page knowledge must come from samples, exactly
+/// the constraint the paper's Section 4.3 discusses.
+pub struct EpochCtx<'a> {
+    /// The machine the workload runs on.
+    pub machine: &'a MachineSpec,
+    /// Counters accumulated during the epoch that just closed.
+    pub counters: &'a EpochCounters,
+    /// IBS samples collected during the epoch.
+    pub samples: &'a [IbsSample],
+    /// Current THP switches.
+    pub thp: ThpControls,
+    /// Index of the epoch that just closed (0-based).
+    pub epoch_index: u32,
+    pub(crate) actions: Vec<PolicyAction>,
+}
+
+impl<'a> EpochCtx<'a> {
+    /// Builds a context (the engine does this each epoch; exposed publicly
+    /// so policy crates can unit-test their `on_epoch` logic).
+    pub fn new(
+        machine: &'a MachineSpec,
+        counters: &'a EpochCounters,
+        samples: &'a [IbsSample],
+        thp: ThpControls,
+        epoch_index: u32,
+    ) -> Self {
+        EpochCtx {
+            machine,
+            counters,
+            samples,
+            thp,
+            epoch_index,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Requests migration of the page covering `vaddr` to `node`.
+    pub fn migrate(&mut self, vaddr: u64, node: NodeId) {
+        self.actions.push(PolicyAction::Migrate(vaddr, node));
+    }
+
+    /// Requests a split of the huge page covering `vaddr`.
+    pub fn split(&mut self, vaddr: u64) {
+        self.actions.push(PolicyAction::Split(vaddr));
+    }
+
+    /// Requests a batched split-and-scatter of the huge page covering
+    /// `vaddr`: demote, then interleave all sub-pages across nodes.
+    pub fn split_scatter(&mut self, vaddr: u64) {
+        self.actions.push(PolicyAction::SplitScatter(vaddr));
+    }
+
+    /// Requests replication of the read-mostly page covering `vaddr`.
+    pub fn replicate(&mut self, vaddr: u64) {
+        self.actions.push(PolicyAction::Replicate(vaddr));
+    }
+
+    /// Toggles 2 MiB allocation at fault time (Algorithm 1 lines 5, 17).
+    pub fn set_thp_alloc(&mut self, enabled: bool) {
+        self.actions.push(PolicyAction::SetThpAlloc(enabled));
+    }
+
+    /// Toggles khugepaged promotion (Algorithm 1 line 6).
+    pub fn set_thp_promote(&mut self, enabled: bool) {
+        self.actions.push(PolicyAction::SetThpPromote(enabled));
+    }
+
+    /// Actions queued so far (visible for policy-composition and tests).
+    pub fn queued(&self) -> &[PolicyAction] {
+        &self.actions
+    }
+
+    /// Drains the queued actions (the engine calls this after `on_epoch`;
+    /// exposed publicly for policy unit tests).
+    pub fn take_actions(&mut self) -> Vec<PolicyAction> {
+        std::mem::take(&mut self.actions)
+    }
+}
+
+/// A NUMA memory-placement policy invoked at every epoch boundary.
+pub trait NumaPolicy {
+    /// Display name (used in experiment output).
+    fn name(&self) -> &str;
+
+    /// Reads the epoch's observations and queues actions on `ctx`.
+    fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>);
+}
+
+/// The do-nothing policy: plain Linux (whatever the initial THP switches
+/// say — "Linux" with small pages, "THP" with huge pages).
+pub struct NullPolicy;
+
+impl NumaPolicy for NullPolicy {
+    fn name(&self) -> &str {
+        "linux"
+    }
+
+    fn on_epoch(&mut self, _ctx: &mut EpochCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_queues_actions_in_order() {
+        let machine = MachineSpec::test_machine();
+        let counters = EpochCounters::default();
+        let mut ctx = EpochCtx::new(&machine, &counters, &[], ThpControls::thp(), 0);
+        ctx.split(0x1000);
+        ctx.migrate(0x2000, NodeId(1));
+        ctx.set_thp_alloc(false);
+        assert_eq!(
+            ctx.queued(),
+            &[
+                PolicyAction::Split(0x1000),
+                PolicyAction::Migrate(0x2000, NodeId(1)),
+                PolicyAction::SetThpAlloc(false),
+            ]
+        );
+        let taken = ctx.take_actions();
+        assert_eq!(taken.len(), 3);
+        assert!(ctx.queued().is_empty());
+    }
+
+    #[test]
+    fn null_policy_does_nothing() {
+        let machine = MachineSpec::test_machine();
+        let counters = EpochCounters::default();
+        let mut ctx = EpochCtx::new(&machine, &counters, &[], ThpControls::thp(), 0);
+        NullPolicy.on_epoch(&mut ctx);
+        assert!(ctx.queued().is_empty());
+        assert_eq!(NullPolicy.name(), "linux");
+    }
+}

@@ -1,0 +1,127 @@
+//! Simulation results and derived reporting.
+
+use profiling::EpochCounters;
+use serde::{Deserialize, Serialize};
+use vmem::VmemStats;
+
+/// One closed epoch's record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Counters over the epoch.
+    pub counters: EpochCounters,
+    /// Pages migrated by the policy this epoch.
+    pub migrations: u64,
+    /// Pages split by the policy this epoch.
+    pub splits: u64,
+    /// Pages collapsed by khugepaged this epoch.
+    pub collapses: u64,
+    /// Cycles of policy + daemon overhead charged to wall time this epoch.
+    pub overhead_cycles: u64,
+    /// Whether 2 MiB allocation was enabled when the epoch closed.
+    pub thp_alloc_enabled: bool,
+    /// Whether khugepaged promotion was enabled when the epoch closed.
+    pub thp_promote_enabled: bool,
+}
+
+/// Whole-run aggregates.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LifetimeStats {
+    /// Local access ratio over the whole run, in `[0, 1]`.
+    pub lar: f64,
+    /// Memory-controller imbalance over the whole run (percent of mean).
+    pub imbalance: f64,
+    /// Fraction of L2 misses caused by page-table walks, in `[0, 1]`.
+    pub walk_miss_fraction: f64,
+    /// TLB miss ratio across all cores, in `[0, 1]`.
+    pub tlb_miss_ratio: f64,
+    /// Cycles the worst core spent in the page-fault handler.
+    pub max_fault_cycles: u64,
+    /// The worst core's fault time as a fraction of the runtime.
+    pub max_fault_fraction: f64,
+    /// Total cycles spent in the fault handler, summed over cores.
+    pub total_fault_cycles: u64,
+    /// Virtual-memory operation counts (faults, migrations, splits, ...).
+    pub vmem: VmemStats,
+    /// Cycles of policy/daemon overhead charged to wall time.
+    pub overhead_cycles: u64,
+    /// IBS samples taken.
+    pub ibs_samples: u64,
+    /// Total memory operations executed.
+    pub total_ops: u64,
+}
+
+/// The paper's Table 2 page metrics at two granularities.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PageMetrics {
+    /// Percent of accesses to the most-used page, at the final mapping
+    /// granularity (2 MiB pages count as one page).
+    pub pamup: f64,
+    /// Hot pages (> 6 % of accesses) at the final mapping granularity.
+    pub nhp: usize,
+    /// Percent of accesses to pages shared by ≥ 2 threads, at the final
+    /// mapping granularity.
+    pub psp: f64,
+    /// Same metrics computed at fixed 4 KiB granularity, for comparison.
+    pub pamup_4k: f64,
+    /// Hot 4 KiB pages.
+    pub nhp_4k: usize,
+    /// PSP at 4 KiB granularity.
+    pub psp_4k: f64,
+}
+
+/// Everything a simulation run produces.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Machine name.
+    pub machine: String,
+    /// Total simulated wall time in cycles.
+    pub runtime_cycles: u64,
+    /// Total simulated wall time in milliseconds (machine clock applied).
+    pub runtime_ms: f64,
+    /// Per-epoch records.
+    pub epochs: Vec<EpochRecord>,
+    /// Whole-run aggregates.
+    pub lifetime: LifetimeStats,
+    /// Table 2 metrics.
+    pub pages: PageMetrics,
+}
+
+impl SimResult {
+    /// Performance improvement of this run over a baseline runtime, as the
+    /// paper reports it: `(baseline / this - 1) * 100` percent (positive =
+    /// faster than the baseline).
+    pub fn improvement_over(&self, baseline: &SimResult) -> f64 {
+        (baseline.runtime_cycles as f64 / self.runtime_cycles as f64 - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with_runtime(cycles: u64) -> SimResult {
+        SimResult {
+            workload: "w".into(),
+            policy: "p".into(),
+            machine: "m".into(),
+            runtime_cycles: cycles,
+            runtime_ms: 0.0,
+            epochs: Vec::new(),
+            lifetime: LifetimeStats::default(),
+            pages: PageMetrics::default(),
+        }
+    }
+
+    #[test]
+    fn improvement_is_paper_style() {
+        let baseline = result_with_runtime(200);
+        let twice_as_fast = result_with_runtime(100);
+        let slower = result_with_runtime(250);
+        assert!((twice_as_fast.improvement_over(&baseline) - 100.0).abs() < 1e-9);
+        assert!((slower.improvement_over(&baseline) + 20.0).abs() < 1e-9);
+    }
+}

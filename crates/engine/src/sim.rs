@@ -1,0 +1,617 @@
+//! The simulation loop.
+
+use crate::config::SimConfig;
+use crate::policy::{EpochCtx, NumaPolicy, PolicyAction};
+use crate::result::{EpochRecord, LifetimeStats, PageMetrics, SimResult};
+use memsys::{AccessKind, MemorySystem};
+use numa_topology::{CoreId, MachineSpec, NodeId};
+use profiling::{metrics, CoreFaultTime, EpochCounters, IbsSample, IbsSampler, PageAccessStats};
+use vmem::{AddressSpace, Mapping, PageSize, Tlb, TlbLookup, VirtAddr};
+use workloads::{WorkloadGen, WorkloadSpec};
+
+/// Runs complete workloads under a policy and produces [`SimResult`]s.
+pub struct Simulation;
+
+/// splitmix64 finalizer: a stride-proof mixing function for deterministic
+/// scatter decisions.
+#[inline]
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct SimState<'m> {
+    machine: &'m MachineSpec,
+    /// DRAM latency divisor from the workload's memory-level parallelism.
+    mlp: u64,
+    mem: MemorySystem,
+    space: AddressSpace,
+    tlbs: Vec<Tlb>,
+    sampler: IbsSampler,
+    page_stats: Option<PageAccessStats>,
+    /// Per-core fault cycles, current epoch.
+    fault_epoch: Vec<u64>,
+    /// Per-core fault cycles, lifetime.
+    fault_life: Vec<u64>,
+    /// Lifetime L2-TLB hit-cycle cost knob.
+    l2_tlb_hit_cycles: u32,
+    /// Extra fault cycles per concurrently-faulting sibling this round.
+    fault_contention: u64,
+    threads: usize,
+}
+
+impl<'m> SimState<'m> {
+    /// Executes one memory operation for `thread`; returns its cycle cost.
+    #[inline]
+    fn run_op(&mut self, thread: usize, op: workloads::Op, faulting_threads: usize) -> u64 {
+        let vaddr = VirtAddr(op.vaddr);
+        let core = CoreId::from(thread);
+        let node = self.machine.node_of_core(core);
+        let mut cycles: u64 = 0;
+
+        // 1. Address translation.
+        let mapping = match self.tlbs[thread].lookup(vaddr) {
+            TlbLookup::HitL1(m) => m,
+            TlbLookup::HitL2(m) => {
+                cycles += u64::from(self.l2_tlb_hit_cycles);
+                m
+            }
+            TlbLookup::Miss => {
+                cycles += u64::from(self.l2_tlb_hit_cycles);
+                let m =
+                    self.walk_and_maybe_fault(thread, vaddr, node, faulting_threads, &mut cycles);
+                self.tlbs[thread].insert(m);
+                m
+            }
+        };
+
+        // 1b. Replication: readers use their local replica; a store to a
+        // replicated page collapses the replica set first.
+        let mapping = if self.space.has_replicas() && mapping.size == PageSize::Size4K {
+            if op.is_write && self.space.is_replicated(mapping.vbase) {
+                cycles += self.space.collapse_replicas(mapping.vbase);
+                self.shootdown(mapping.vbase, mapping.size);
+                mapping
+            } else {
+                self.space.resolve_replica(mapping, node)
+            }
+        } else {
+            mapping
+        };
+
+        // 2. Data access through the memory hierarchy. Stores to line-shared
+        // data bypass the caches: coherence pushes them to the home node.
+        let out = if op.coherent_store {
+            self.mem.access_uncached(core, mapping.node)
+        } else {
+            let paddr = mapping.translate(vaddr);
+            self.mem
+                .access(core, paddr.0, mapping.node, AccessKind::Data)
+        };
+        if out.dram() {
+            // Prefetchers hide sequential latency; independent misses
+            // overlap by the workload's MLP. Requests still occupy the
+            // controller either way (counted above).
+            let overlap = if op.prefetched { 4 } else { self.mlp };
+            cycles += u64::from(out.cycles) / overlap;
+        } else {
+            cycles += u64::from(out.cycles);
+        }
+
+        // 3. Observation channels.
+        self.sampler.observe(|| IbsSample {
+            vaddr,
+            accessing_node: node,
+            thread: thread as u16,
+            home_node: mapping.node,
+            from_dram: out.dram(),
+            is_store: op.is_write,
+            page_size: mapping.size,
+        });
+        if let Some(stats) = self.page_stats.as_mut() {
+            stats.record(vaddr, thread as u16);
+        }
+        cycles
+    }
+
+    /// Hardware page-table walk, servicing a demand fault if needed.
+    fn walk_and_maybe_fault(
+        &mut self,
+        thread: usize,
+        vaddr: VirtAddr,
+        node: NodeId,
+        faulting_threads: usize,
+        cycles: &mut u64,
+    ) -> Mapping {
+        let core = CoreId::from(thread);
+        let walk = self.space.walk(vaddr);
+        for step in walk.steps() {
+            let out = self
+                .mem
+                .access(core, step.pte_addr.0, step.node, AccessKind::PageWalk);
+            *cycles += u64::from(out.cycles);
+        }
+        if let Some(m) = walk.mapping {
+            return m;
+        }
+        // Demand fault: allocation plus lock contention from siblings
+        // faulting in the same interval. Contention saturates: past ~48
+        // waiters the page-table/zone locks queue rather than keep growing.
+        let fault = self
+            .space
+            .fault(vaddr, node)
+            .unwrap_or_else(|e| panic!("fault at {vaddr} failed: {e}"));
+        let contenders = faulting_threads.saturating_sub(1).min(48) as u64;
+        let contention = self.fault_contention * contenders;
+        let cost = fault.cycles + contention;
+        *cycles += cost;
+        self.fault_epoch[thread] += cost;
+        self.fault_life[thread] += cost;
+        fault.mapping
+    }
+
+    /// Invalidates one page's entry in every core's TLB (shootdown).
+    fn shootdown(&mut self, vbase: VirtAddr, size: PageSize) {
+        for t in &mut self.tlbs {
+            t.invalidate(vbase, size);
+        }
+    }
+
+    /// Applies policy actions; returns (migrations, splits, cost cycles).
+    fn apply_actions(&mut self, actions: Vec<PolicyAction>) -> (u64, u64, u64) {
+        let mut migrations = 0;
+        let mut splits = 0;
+        let mut cost: u64 = 0;
+        for a in actions {
+            match a {
+                PolicyAction::SetThpAlloc(b) => self.space.thp_mut().alloc_2m = b,
+                PolicyAction::SetThpPromote(b) => {
+                    self.space.thp_mut().promote_2m = b;
+                    if b {
+                        // Re-enabling promotion lifts the no-collapse marks
+                        // left by earlier policy splits.
+                        self.space.clear_promote_inhibitions();
+                    }
+                }
+                PolicyAction::Split(v) => {
+                    if let Ok((old, c)) = self.space.split(VirtAddr(v)) {
+                        self.shootdown(old.vbase, old.size);
+                        splits += 1;
+                        cost += c;
+                    }
+                }
+                PolicyAction::SplitScatter(v) => {
+                    if let Ok((old, c)) = self.space.split(VirtAddr(v)) {
+                        self.shootdown(old.vbase, old.size);
+                        splits += 1;
+                        // One batched demote-and-spread: the split cost plus
+                        // one huge-page-worth of copying, not 512 separate
+                        // migration calls.
+                        cost += c + self.space.costs().copy_per_kib * (old.size.bytes() >> 10);
+                        let nodes = self.machine.num_nodes() as u64;
+                        let children = old.size.fanout();
+                        let small = old.size.smaller().expect("huge page splits");
+                        for i in 0..children {
+                            let sub = VirtAddr(old.vbase.0 + i * small.bytes());
+                            // Deterministic hash spread: independent of any
+                            // stride the data layout might have.
+                            let node = NodeId::from((mix64(sub.0) % nodes) as usize);
+                            if let Ok((sold, _)) = self.space.migrate(sub, node) {
+                                self.shootdown(sold.vbase, sold.size);
+                                migrations += 1;
+                            }
+                        }
+                    }
+                }
+                PolicyAction::Replicate(v) => {
+                    if let Ok(c) = self.space.replicate(VirtAddr(v), self.machine.num_nodes()) {
+                        if c > 0 {
+                            if let Some(m) = self.space.translate(VirtAddr(v)) {
+                                self.shootdown(m.vbase, m.size);
+                            }
+                            migrations += 1; // replica copies count as moves
+                            cost += c;
+                        }
+                    }
+                }
+                PolicyAction::Migrate(v, node) => {
+                    if let Ok((old, c)) = self.space.migrate(VirtAddr(v), node) {
+                        if c > 0 {
+                            self.shootdown(old.vbase, old.size);
+                            migrations += 1;
+                            cost += c;
+                        }
+                    }
+                }
+            }
+        }
+        (migrations, splits, cost)
+    }
+}
+
+impl Simulation {
+    /// Runs `spec` on `machine` under `policy` and returns the results.
+    ///
+    /// The run is fully deterministic in `(spec, config.seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has more threads than the machine has cores, or if
+    /// the machine runs out of physical memory (a configuration error at our
+    /// scaled footprints).
+    pub fn run(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+    ) -> SimResult {
+        Simulation::run_with_setup(machine, spec, config, policy, |_| {})
+    }
+
+    /// Like [`Simulation::run`], but calls `setup` on the freshly built
+    /// address space before the workload starts — for experiments that need
+    /// pre-conditions such as deliberately fragmented physical memory.
+    pub fn run_with_setup(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        setup: impl FnOnce(&mut AddressSpace),
+    ) -> SimResult {
+        assert!(
+            spec.threads <= machine.total_cores(),
+            "workload wants {} threads, machine has {} cores",
+            spec.threads,
+            machine.total_cores()
+        );
+
+        let mut gen = WorkloadGen::new(spec, config.seed);
+        let mut space = AddressSpace::new(machine, config.vmem);
+        for r in &spec.regions {
+            space
+                .map_region(r.base, r.bytes)
+                .unwrap_or_else(|e| panic!("region setup failed: {e}"));
+        }
+        setup(&mut space);
+
+        let mut st = SimState {
+            machine,
+            mlp: u64::from(spec.mlp.max(1)),
+            mem: MemorySystem::new(machine, config.memsys.clone()),
+            space,
+            tlbs: (0..spec.threads)
+                .map(|_| Tlb::new(&config.vmem.tlb))
+                .collect(),
+            sampler: IbsSampler::new(machine.num_nodes(), config.ibs),
+            page_stats: config.track_page_stats.then(PageAccessStats::new),
+            fault_epoch: vec![0; spec.threads],
+            fault_life: vec![0; spec.threads],
+            l2_tlb_hit_cycles: config.vmem.tlb.l2_hit_cycles,
+            fault_contention: config.vmem.costs.fault_contention_per_thread,
+            threads: spec.threads,
+        };
+
+        let total_rounds = gen.total_rounds();
+        let think = u64::from(spec.think_cycles_per_op);
+        let mut wall: u64 = 0;
+
+        // Serial prelude: the loader thread's header touches run alone
+        // before the parallel phase (a program's sequential setup).
+        let mut prelude_cycles: u64 = 0;
+        for &vaddr in gen.prelude().to_vec().iter() {
+            let op = workloads::Op {
+                vaddr,
+                is_write: true,
+                coherent_store: false,
+                prefetched: false,
+            };
+            prelude_cycles += st.run_op(0, op, 1) + think;
+        }
+        wall += prelude_cycles;
+        let mut epoch_wall: u64 = 0;
+        let mut epoch_ops: u64 = 0;
+        let mut total_ops: u64 = 0;
+        let mut overhead_total: u64 = 0;
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+        let mut epoch_index: u32 = 0;
+
+        for round in 0..total_rounds {
+            let faulting = (0..spec.threads).filter(|&t| gen.in_alloc_phase(t)).count();
+            // Threads interleave in small batches so first-touch races are
+            // fair: within each batch cycle every thread advances equally.
+            let batch = config.ops_per_batch.max(1).min(spec.ops_per_round);
+            let mut t_cycles = vec![0u64; spec.threads];
+            let mut issued: u64 = 0;
+            let mut cycle_idx: usize = round as usize;
+            while issued < spec.ops_per_round {
+                let n = batch.min(spec.ops_per_round - issued);
+                // Rotate the intra-batch thread order every cycle so no
+                // thread systematically wins first-touch races.
+                for k in 0..spec.threads {
+                    let t = (k + cycle_idx) % spec.threads;
+                    let mut c = 0;
+                    for _ in 0..n {
+                        let op = gen.next_op(t);
+                        c += st.run_op(t, op, faulting) + think;
+                    }
+                    t_cycles[t] += c;
+                }
+                issued += n;
+                cycle_idx += 1;
+            }
+            let slowest = t_cycles.iter().copied().max().unwrap_or(0);
+            epoch_ops += spec.ops_per_round * spec.threads as u64;
+            total_ops += spec.ops_per_round * spec.threads as u64;
+            wall += slowest;
+            epoch_wall += slowest;
+
+            let epoch_closes =
+                (round + 1) % config.rounds_per_epoch == 0 || round + 1 == total_rounds;
+            if !epoch_closes {
+                continue;
+            }
+
+            // --- Epoch boundary: kernel daemons, counters, policy. ---
+            let (collapsed, khuge_cost) = st.space.promotion_scan(config.khugepaged_scan_limit);
+            if !collapsed.is_empty() {
+                // Collapsed ranges got new frames: stale entries must go.
+                for t in &mut st.tlbs {
+                    t.flush();
+                }
+            }
+
+            let controller_requests = st.mem.controller_epoch_requests();
+            let (samples, ibs_overhead) = st.sampler.drain();
+            let mem_stats = *st.mem.epoch_stats();
+            let counters = EpochCounters {
+                epoch_cycles: epoch_wall,
+                l2_accesses: mem_stats.l2_accesses,
+                l2_misses: mem_stats.l2_misses,
+                l2_walk_misses: mem_stats.l2_walk_misses,
+                dram_local: mem_stats.dram_local,
+                dram_remote: mem_stats.dram_remote,
+                controller_requests,
+                fault_time: st
+                    .fault_epoch
+                    .iter()
+                    .map(|&c| CoreFaultTime { fault_cycles: c })
+                    .collect(),
+                mem_ops: epoch_ops,
+            };
+
+            let mut ctx = EpochCtx::new(machine, &counters, &samples, st.space.thp(), epoch_index);
+            policy.on_epoch(&mut ctx);
+            let actions = ctx.take_actions();
+            let (migrations, splits, action_cost) = st.apply_actions(actions);
+
+            // Kernel-side work (daemon scans, sampling NMIs, migrations)
+            // executes on the same cores as the application; spread across
+            // the machine it lengthens the epoch by its per-core share.
+            let overhead = khuge_cost + ibs_overhead + action_cost;
+            let overhead_share = overhead / st.threads as u64;
+            wall += overhead_share;
+            epoch_wall += overhead_share;
+            overhead_total += overhead;
+
+            st.mem.end_epoch(epoch_wall);
+            epochs.push(EpochRecord {
+                counters,
+                migrations,
+                splits,
+                collapses: collapsed.len() as u64,
+                overhead_cycles: overhead,
+                thp_alloc_enabled: st.space.thp().alloc_2m,
+                thp_promote_enabled: st.space.thp().promote_2m,
+            });
+            st.fault_epoch.iter_mut().for_each(|c| *c = 0);
+            epoch_wall = 0;
+            epoch_ops = 0;
+            epoch_index += 1;
+        }
+
+        // --- Whole-run aggregates. ---
+        let life = st.mem.lifetime_stats();
+        let controller_totals = st.mem.controller_total_requests();
+        let max_fault = st.fault_life.iter().copied().max().unwrap_or(0);
+        let (l1h, l2h, miss) = st.tlbs.iter().fold((0u64, 0u64, 0u64), |acc, t| {
+            let s = t.stats();
+            (acc.0 + s.l1_hits, acc.1 + s.l2_hits, acc.2 + s.misses)
+        });
+        let tlb_total = l1h + l2h + miss;
+
+        let lifetime = LifetimeStats {
+            lar: life.lar(),
+            imbalance: metrics::imbalance(&controller_totals),
+            walk_miss_fraction: if life.l2_misses == 0 {
+                0.0
+            } else {
+                life.l2_walk_misses as f64 / life.l2_misses as f64
+            },
+            tlb_miss_ratio: if tlb_total == 0 {
+                0.0
+            } else {
+                miss as f64 / tlb_total as f64
+            },
+            max_fault_cycles: max_fault,
+            max_fault_fraction: if wall == 0 {
+                0.0
+            } else {
+                max_fault as f64 / wall as f64
+            },
+            total_fault_cycles: st.fault_life.iter().sum(),
+            vmem: st.space.stats().clone(),
+            overhead_cycles: overhead_total,
+            ibs_samples: st.sampler.total_taken(),
+            total_ops,
+        };
+
+        let pages = match &st.page_stats {
+            Some(ps) => {
+                let space = &st.space;
+                let rows_mapped = ps.aggregate(|base4k| {
+                    space
+                        .translate(VirtAddr(base4k))
+                        .map(|m| m.vbase.0)
+                        .unwrap_or(base4k)
+                });
+                let rows_4k = ps.aggregate(|b| b);
+                PageMetrics {
+                    pamup: metrics::pamup(&rows_mapped),
+                    nhp: metrics::nhp(&rows_mapped),
+                    psp: metrics::psp(&rows_mapped),
+                    pamup_4k: metrics::pamup(&rows_4k),
+                    nhp_4k: metrics::nhp(&rows_4k),
+                    psp_4k: metrics::psp(&rows_4k),
+                }
+            }
+            None => PageMetrics::default(),
+        };
+
+        SimResult {
+            workload: spec.name.clone(),
+            policy: policy.name().to_string(),
+            machine: machine.name().to_string(),
+            runtime_cycles: wall,
+            runtime_ms: machine.cycles_to_ms(wall),
+            epochs,
+            lifetime,
+            pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NullPolicy;
+    use vmem::ThpControls;
+    use workloads::{AccessPattern, RegionSpec};
+
+    fn tiny_spec(pattern: AccessPattern, threads: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            name: "tiny".into(),
+            threads,
+            regions: vec![RegionSpec {
+                base: 64 << 30,
+                bytes: 4 << 20,
+                share: 1.0,
+                pattern,
+                alloc_skew: 0.0,
+                loader_headers: 0.0,
+                rw_shared: false,
+                read_only: false,
+            }],
+            ops_per_round: 400,
+            compute_rounds: 8,
+            think_cycles_per_op: 10,
+            write_fraction: 0.3,
+            phases: Vec::new(),
+            mlp: 1,
+        }
+    }
+
+    fn run_tiny(thp: ThpControls) -> SimResult {
+        let machine = MachineSpec::test_machine();
+        let mut config = SimConfig::fast_test();
+        config.vmem.thp = thp;
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        Simulation::run(&machine, &spec, &config, &mut NullPolicy)
+    }
+
+    #[test]
+    fn run_completes_and_accounts_ops() {
+        let r = run_tiny(ThpControls::small_only());
+        // 4 MiB = 1024 alloc ops spread over 4 threads = 256 each
+        // → 1 alloc round; plus 8 compute rounds, 400 ops, 4 threads.
+        assert_eq!(r.lifetime.total_ops, 9 * 400 * 4);
+        assert!(r.runtime_cycles > 0);
+        assert!(!r.epochs.is_empty());
+        assert_eq!(r.lifetime.vmem.faults_4k, 1024);
+    }
+
+    #[test]
+    fn thp_reduces_faults_512x() {
+        let small = run_tiny(ThpControls::small_only());
+        let huge = run_tiny(ThpControls::thp());
+        assert_eq!(small.lifetime.vmem.faults_4k, 1024);
+        assert_eq!(huge.lifetime.vmem.faults_2m, 2);
+        assert_eq!(huge.lifetime.vmem.faults_4k, 0);
+    }
+
+    #[test]
+    fn thp_reduces_tlb_misses() {
+        let small = run_tiny(ThpControls::small_only());
+        let huge = run_tiny(ThpControls::thp());
+        assert!(
+            huge.lifetime.tlb_miss_ratio < small.lifetime.tlb_miss_ratio,
+            "huge {} vs small {}",
+            huge.lifetime.tlb_miss_ratio,
+            small.lifetime.tlb_miss_ratio
+        );
+    }
+
+    #[test]
+    fn private_slices_have_high_lar_with_small_pages() {
+        let r = run_tiny(ThpControls::small_only());
+        assert!(r.lifetime.lar > 0.9, "lar {}", r.lifetime.lar);
+    }
+
+    #[test]
+    fn interleaved_chunks_lose_locality_under_thp() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(
+            AccessPattern::InterleavedChunks {
+                chunk_bytes: 8192,
+                dwell_ops: 1,
+            },
+            4,
+        );
+        let mut config = SimConfig::fast_test();
+        config.vmem.thp = ThpControls::small_only();
+        let small = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        config.vmem.thp = ThpControls::thp();
+        let huge = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        assert!(
+            huge.lifetime.lar < small.lifetime.lar - 0.1,
+            "huge {} small {}",
+            huge.lifetime.lar,
+            small.lifetime.lar
+        );
+        // And the page-level sharing metric jumps (the paper's PSP).
+        assert!(
+            huge.pages.psp > small.pages.psp + 20.0,
+            "huge {} small {}",
+            huge.pages.psp,
+            small.pages.psp
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_tiny(ThpControls::thp());
+        let b = run_tiny(ThpControls::thp());
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        assert_eq!(a.lifetime.ibs_samples, b.lifetime.ibs_samples);
+    }
+
+    #[test]
+    fn fault_time_is_tracked() {
+        let r = run_tiny(ThpControls::small_only());
+        assert!(r.lifetime.total_fault_cycles > 0);
+        assert!(r.lifetime.max_fault_cycles > 0);
+        assert!(r.lifetime.max_fault_fraction > 0.0);
+        assert!(r.lifetime.max_fault_fraction < 1.0);
+    }
+
+    #[test]
+    fn epoch_records_cover_run() {
+        let r = run_tiny(ThpControls::thp());
+        let rounds = 9; // 1 alloc + 8 compute
+        let expected = rounds / 2 + 1; // rounds_per_epoch = 2, plus final
+        assert_eq!(r.epochs.len(), expected);
+        let ops: u64 = r.epochs.iter().map(|e| e.counters.mem_ops).sum();
+        assert_eq!(ops, r.lifetime.total_ops);
+    }
+}

@@ -1,0 +1,159 @@
+//! Memory system configuration and the default (scaled) Opteron geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Number of sets (rounded up to a power of two on construction).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Total capacity in bytes implied by this geometry.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets.next_power_of_two() * self.ways * self.line_bytes
+    }
+
+    /// Returns the same geometry with the set count divided by `factor`
+    /// (minimum one set). Used to scale caches together with working sets.
+    pub fn scaled_down(self, factor: usize) -> Self {
+        CacheGeometry {
+            sets: (self.sets / factor.max(1)).max(1),
+            ..self
+        }
+    }
+}
+
+/// Complete configuration of the memory system simulator.
+///
+/// The defaults describe an AMD Opteron–like hierarchy *scaled down* by a
+/// configurable factor. Scaling caches together with workload working sets
+/// keeps the miss ratios — and therefore every effect the paper studies —
+/// in the realistic regime while letting a simulation finish in
+/// milliseconds instead of hours.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MemSysConfig {
+    /// Per-core L1 data cache.
+    pub l1: CacheGeometry,
+    /// Per-core L2 cache.
+    pub l2: CacheGeometry,
+    /// Per-node shared L3 cache.
+    pub l3: CacheGeometry,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u32,
+    /// L3 hit latency in cycles.
+    pub l3_latency: u32,
+    /// Unloaded DRAM access latency at the local controller, in cycles.
+    pub dram_base_latency: u32,
+    /// Extra cycles per interconnect hop for remote DRAM accesses.
+    pub hop_latency: u32,
+    /// Cycles of controller occupancy per DRAM request (service time);
+    /// sets the utilization at which queueing delay explodes.
+    pub controller_service_cycles: u32,
+    /// Coefficient of the `rho / (1 - rho)` controller queueing term.
+    pub controller_queue_coeff: f64,
+    /// Hard cap on controller queueing delay, in cycles. The paper quotes
+    /// ≈1000 cycles on an overloaded controller vs ≈200 unloaded.
+    pub controller_queue_cap: u32,
+    /// Cycles of link occupancy per request crossing a link.
+    pub link_service_cycles: u32,
+    /// Coefficient of the link congestion term.
+    pub link_queue_coeff: f64,
+    /// Hard cap on per-link congestion delay, in cycles.
+    pub link_queue_cap: u32,
+}
+
+impl MemSysConfig {
+    /// Opteron-like geometry scaled down by `scale` (1 = full size).
+    ///
+    /// Full-size reference: 64 B lines, L1d 32 KiB/8-way, L2 512 KiB/16-way
+    /// per core, L3 12 MiB/16-way per node. Latencies: 1 / 12 / 40 cycles;
+    /// DRAM ≈190 cycles unloaded, ≈60 cycles per HyperTransport hop.
+    pub fn scaled_default(scale: usize) -> Self {
+        let scale = scale.max(1);
+        MemSysConfig {
+            l1: CacheGeometry {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+            }
+            .scaled_down(scale),
+            l2: CacheGeometry {
+                sets: 512,
+                ways: 16,
+                line_bytes: 64,
+            }
+            .scaled_down(scale),
+            l3: CacheGeometry {
+                sets: 12288,
+                ways: 16,
+                line_bytes: 64,
+            }
+            .scaled_down(scale),
+            l1_latency: 1,
+            l2_latency: 12,
+            l3_latency: 40,
+            dram_base_latency: 190,
+            hop_latency: 110,
+            controller_service_cycles: 20,
+            controller_queue_coeff: 120.0,
+            controller_queue_cap: 900,
+            link_service_cycles: 6,
+            link_queue_coeff: 60.0,
+            link_queue_cap: 400,
+        }
+    }
+}
+
+impl Default for MemSysConfig {
+    fn default() -> Self {
+        MemSysConfig::scaled_default(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capacities_match_opteron() {
+        let c = MemSysConfig::default();
+        assert_eq!(c.l1.capacity_bytes(), 32 << 10);
+        assert_eq!(c.l2.capacity_bytes(), 512 << 10);
+        // 12288 sets round up to 16384: the model L3 is 16 MiB.
+        assert_eq!(c.l3.capacity_bytes(), 16 << 20);
+    }
+
+    #[test]
+    fn scaling_divides_sets() {
+        let c = MemSysConfig::scaled_default(8);
+        assert_eq!(c.l1.sets, 8);
+        assert_eq!(c.l2.sets, 64);
+        assert_eq!(c.l3.sets, 1536);
+    }
+
+    #[test]
+    fn scaling_never_reaches_zero_sets() {
+        let c = MemSysConfig::scaled_default(1_000_000);
+        assert_eq!(c.l1.sets, 1);
+        assert_eq!(c.l2.sets, 1);
+        assert_eq!(c.l3.sets, 1);
+    }
+
+    #[test]
+    fn latency_ordering_is_sane() {
+        let c = MemSysConfig::default();
+        assert!(c.l1_latency < c.l2_latency);
+        assert!(c.l2_latency < c.l3_latency);
+        assert!(c.l3_latency < c.dram_base_latency);
+        // Overloaded controller reaches the ~1000 cycle range the paper cites.
+        assert!(c.dram_base_latency + c.controller_queue_cap >= 1000);
+    }
+}

@@ -1,0 +1,146 @@
+//! The per-epoch performance-counter snapshot that policies read.
+
+use serde::{Deserialize, Serialize};
+
+/// Page-fault time attribution for one core.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct CoreFaultTime {
+    /// Cycles this core spent in the page-fault handler this epoch.
+    pub fault_cycles: u64,
+}
+
+/// One epoch's worth of hardware counters, as a policy would read them from
+/// the PMU at the end of its monitoring interval (Algorithm 1 line 3).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EpochCounters {
+    /// Length of the epoch in cycles.
+    pub epoch_cycles: u64,
+    /// Data + walk accesses that reached the L2 (i.e. L1 misses).
+    pub l2_accesses: u64,
+    /// L2 misses, all causes.
+    pub l2_misses: u64,
+    /// L2 misses caused by page-table walks.
+    pub l2_walk_misses: u64,
+    /// DRAM accesses serviced on the issuing core's node.
+    pub dram_local: u64,
+    /// DRAM accesses serviced on a remote node.
+    pub dram_remote: u64,
+    /// Requests serviced per memory controller.
+    pub controller_requests: Vec<u64>,
+    /// Per-core page-fault time.
+    pub fault_time: Vec<CoreFaultTime>,
+    /// Retired memory operations (the denominator for intensity checks).
+    pub mem_ops: u64,
+}
+
+impl EpochCounters {
+    /// Fraction of L2 misses caused by page-table walks, in `[0, 1]`.
+    ///
+    /// This is the paper's proxy for TLB pressure (Section 3.2.2): walks
+    /// that escape the L2 hit L3 or DRAM and are expensive.
+    pub fn walk_miss_fraction(&self) -> f64 {
+        if self.l2_misses == 0 {
+            0.0
+        } else {
+            self.l2_walk_misses as f64 / self.l2_misses as f64
+        }
+    }
+
+    /// Local access ratio over DRAM accesses, in `[0, 1]`; 1 when idle.
+    pub fn lar(&self) -> f64 {
+        let total = self.dram_local + self.dram_remote;
+        if total == 0 {
+            1.0
+        } else {
+            self.dram_local as f64 / total as f64
+        }
+    }
+
+    /// Memory-controller imbalance: the standard deviation of per-controller
+    /// request counts as a percent of the mean (the paper's definition).
+    pub fn imbalance(&self) -> f64 {
+        crate::metrics::imbalance(&self.controller_requests)
+    }
+
+    /// The largest fraction of the epoch any single core spent in the page
+    /// fault handler, in `[0, 1]` (Algorithm 1 line 7 uses the max because
+    /// fault-handler lock contention is set by the slowest core).
+    pub fn max_fault_fraction(&self) -> f64 {
+        if self.epoch_cycles == 0 {
+            return 0.0;
+        }
+        let worst = self
+            .fault_time
+            .iter()
+            .map(|c| c.fault_cycles)
+            .max()
+            .unwrap_or(0);
+        (worst as f64 / self.epoch_cycles as f64).min(1.0)
+    }
+
+    /// DRAM accesses per retired memory operation — a cheap intensity test
+    /// (Carrefour only engages on memory-intensive phases).
+    pub fn dram_per_op(&self) -> f64 {
+        if self.mem_ops == 0 {
+            0.0
+        } else {
+            (self.dram_local + self.dram_remote) as f64 / self.mem_ops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EpochCounters {
+        EpochCounters {
+            epoch_cycles: 1_000_000,
+            l2_accesses: 10_000,
+            l2_misses: 2_000,
+            l2_walk_misses: 300,
+            dram_local: 600,
+            dram_remote: 400,
+            controller_requests: vec![500, 500],
+            fault_time: vec![
+                CoreFaultTime {
+                    fault_cycles: 50_000,
+                },
+                CoreFaultTime {
+                    fault_cycles: 120_000,
+                },
+            ],
+            mem_ops: 100_000,
+        }
+    }
+
+    #[test]
+    fn walk_miss_fraction_is_ratio_of_misses() {
+        assert!((base().walk_miss_fraction() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lar_is_local_share() {
+        assert!((base().lar() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_fault_fraction_takes_worst_core() {
+        assert!((base().max_fault_fraction() - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_counters_are_benign() {
+        let c = EpochCounters::default();
+        assert_eq!(c.walk_miss_fraction(), 0.0);
+        assert_eq!(c.lar(), 1.0);
+        assert_eq!(c.max_fault_fraction(), 0.0);
+        assert_eq!(c.imbalance(), 0.0);
+        assert_eq!(c.dram_per_op(), 0.0);
+    }
+
+    #[test]
+    fn dram_per_op_is_intensity() {
+        assert!((base().dram_per_op() - 0.01).abs() < 1e-12);
+    }
+}

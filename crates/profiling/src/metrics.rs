@@ -1,0 +1,143 @@
+//! The paper's derived NUMA metrics.
+//!
+//! Definitions follow Sections 2.2 and 3.1 of the paper:
+//!
+//! * **Imbalance** — standard deviation of the per-controller memory request
+//!   rate, as a percent of the mean.
+//! * **PAMUP** — percentage of total accesses going to the most-used page.
+//! * **NHP** — number of *hot* pages, i.e. pages receiving more than 6 % of
+//!   all accesses (half of the 12.5 % that would perfectly load one of 8
+//!   nodes — the paper's footnote 3).
+//! * **PSP** — percentage of accesses going to pages touched by at least two
+//!   threads (page-level sharing).
+
+/// The paper's hot-page threshold: a page is hot if it receives more than
+/// this fraction of all accesses (6 %).
+pub const HOT_PAGE_FRACTION: f64 = 0.06;
+
+/// Standard deviation of `values` as a percent of their mean.
+///
+/// Returns 0 for empty input or a zero mean (an idle memory system is
+/// balanced by definition).
+pub fn imbalance(values: &[u64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean * 100.0
+}
+
+/// Percentage of accesses to the most-used page.
+///
+/// `pages` holds `(page_base, access_count, thread_mask)` rows, e.g. from
+/// [`crate::PageAccessStats::aggregate`].
+pub fn pamup(pages: &[(u64, u64, u64)]) -> f64 {
+    let total: u64 = pages.iter().map(|&(_, c, _)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = pages.iter().map(|&(_, c, _)| c).max().unwrap_or(0);
+    max as f64 / total as f64 * 100.0
+}
+
+/// Number of hot pages (pages receiving more than [`HOT_PAGE_FRACTION`] of
+/// all accesses).
+pub fn nhp(pages: &[(u64, u64, u64)]) -> usize {
+    let total: u64 = pages.iter().map(|&(_, c, _)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    pages
+        .iter()
+        .filter(|&&(_, c, _)| c as f64 > HOT_PAGE_FRACTION * total as f64)
+        .count()
+}
+
+/// Percentage of accesses going to pages shared by at least two threads.
+pub fn psp(pages: &[(u64, u64, u64)]) -> f64 {
+    let total: u64 = pages.iter().map(|&(_, c, _)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let shared: u64 = pages
+        .iter()
+        .filter(|&&(_, _, mask)| mask.count_ones() >= 2)
+        .map(|&(_, c, _)| c)
+        .sum();
+    shared as f64 / total as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_zero_when_equal() {
+        assert_eq!(imbalance(&[5, 5, 5]), 0.0);
+        assert_eq!(imbalance(&[]), 0.0);
+        assert_eq!(imbalance(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_single_hot_controller() {
+        // One of four controllers takes all traffic: sd = sqrt(3)*mean,
+        // i.e. ≈173 % of the mean.
+        let v = imbalance(&[400, 0, 0, 0]);
+        assert!((v - 173.2).abs() < 0.1, "got {v}");
+    }
+
+    #[test]
+    fn imbalance_is_scale_invariant() {
+        let a = imbalance(&[10, 20, 30, 40]);
+        let b = imbalance(&[100, 200, 300, 400]);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pamup_picks_the_top_page() {
+        let pages = [(0u64, 80u64, 1u64), (4096, 10, 1), (8192, 10, 1)];
+        assert!((pamup(&pages) - 80.0).abs() < 1e-12);
+        assert_eq!(pamup(&[]), 0.0);
+    }
+
+    #[test]
+    fn nhp_counts_pages_over_six_percent() {
+        // 100 accesses: pages with >6 are hot.
+        let pages = [
+            (0u64, 50u64, 1u64),
+            (4096, 30, 1),
+            (8192, 7, 1),
+            (12288, 6, 1), // exactly 6 %: not hot (strictly greater)
+            (16384, 7, 1),
+        ];
+        assert_eq!(nhp(&pages), 4);
+        assert_eq!(nhp(&[]), 0);
+    }
+
+    #[test]
+    fn psp_weights_by_access_count() {
+        let pages = [
+            (0u64, 70u64, 0b11u64), // shared
+            (4096, 30, 0b01),       // private
+        ];
+        assert!((psp(&pages) - 70.0).abs() < 1e-12);
+        assert_eq!(psp(&[]), 0.0);
+    }
+
+    #[test]
+    fn hot_page_fraction_matches_paper() {
+        assert!((HOT_PAGE_FRACTION - 0.06).abs() < 1e-12);
+    }
+}

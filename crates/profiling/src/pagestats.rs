@@ -1,0 +1,134 @@
+//! Exact per-page access statistics (for the Table 2 metrics).
+//!
+//! Policies never see these — they only get IBS samples and counters. The
+//! exact statistics exist so that experiments can *report* PAMUP, NHP and
+//! PSP the way the paper's offline profiling did.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vmem::{VirtAddr, PAGE_4K};
+
+/// Access statistics of one 4 KiB page.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PageCell {
+    /// Number of accesses observed.
+    pub count: u64,
+    /// Bitmask of the (up to 64) thread ids that touched the page.
+    pub threads: u64,
+}
+
+/// Exact access counts and thread masks at 4 KiB granularity.
+///
+/// 4 KiB is the finest granularity any policy can act on, so coarser page
+/// sizes are derived by aggregation ([`PageAccessStats::aggregate`]).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PageAccessStats {
+    cells: HashMap<u64, PageCell>,
+    total: u64,
+}
+
+impl PageAccessStats {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access by `thread` (ids ≥ 64 share the last mask bit).
+    #[inline]
+    pub fn record(&mut self, vaddr: VirtAddr, thread: u16) {
+        let base = vaddr.align_down(PAGE_4K).0;
+        let cell = self.cells.entry(base).or_default();
+        cell.count += 1;
+        cell.threads |= 1u64 << (thread.min(63));
+        self.total += 1;
+    }
+
+    /// Total accesses recorded.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct 4 KiB pages touched.
+    #[inline]
+    pub fn pages_touched(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Aggregates the 4 KiB cells to a coarser granularity.
+    ///
+    /// `container_of` maps a 4 KiB page base to the base of the page that
+    /// *currently contains* it (e.g. its 2 MiB huge page base, or itself if
+    /// the page is small). Returns `(container_base, count, thread_mask)`
+    /// rows sorted by container base.
+    pub fn aggregate(&self, container_of: impl Fn(u64) -> u64) -> Vec<(u64, u64, u64)> {
+        let mut merged: HashMap<u64, PageCell> = HashMap::with_capacity(self.cells.len());
+        for (&base, cell) in &self.cells {
+            let c = merged.entry(container_of(base)).or_default();
+            c.count += cell.count;
+            c.threads |= cell.threads;
+        }
+        let mut rows: Vec<(u64, u64, u64)> = merged
+            .into_iter()
+            .map(|(base, cell)| (base, cell.count, cell.threads))
+            .collect();
+        rows.sort_unstable_by_key(|&(base, _, _)| base);
+        rows
+    }
+
+    /// Clears all cells (start of a new measurement window).
+    pub fn reset(&mut self) {
+        self.cells.clear();
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_counts_and_threads() {
+        let mut s = PageAccessStats::new();
+        s.record(VirtAddr(0x1000), 0);
+        s.record(VirtAddr(0x1fff), 1);
+        s.record(VirtAddr(0x2000), 0);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.pages_touched(), 2);
+        let rows = s.aggregate(|b| b);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0x1000, 2, 0b11));
+        assert_eq!(rows[1], (0x2000, 1, 0b01));
+    }
+
+    #[test]
+    fn aggregate_merges_into_containers() {
+        let mut s = PageAccessStats::new();
+        // Two 4 KiB pages inside the same 2 MiB range, one outside.
+        s.record(VirtAddr(0x20_0000), 0);
+        s.record(VirtAddr(0x20_1000), 1);
+        s.record(VirtAddr(0x40_0000), 2);
+        let rows = s.aggregate(|b| b & !(0x20_0000 - 1));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (0x20_0000, 2, 0b11));
+        assert_eq!(rows[1], (0x40_0000, 1, 0b100));
+    }
+
+    #[test]
+    fn high_thread_ids_saturate_mask() {
+        let mut s = PageAccessStats::new();
+        s.record(VirtAddr(0), 63);
+        s.record(VirtAddr(0), 200);
+        let rows = s.aggregate(|b| b);
+        assert_eq!(rows[0].2, 1u64 << 63);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = PageAccessStats::new();
+        s.record(VirtAddr(0x1000), 0);
+        s.reset();
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.pages_touched(), 0);
+    }
+}

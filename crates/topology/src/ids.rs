@@ -1,0 +1,96 @@
+//! Strongly-typed identifiers for NUMA nodes and CPU cores.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a NUMA node (a die with its local memory controller).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "node id out of range: {v}");
+        NodeId(v as u16)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of a CPU core, global across the machine.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// Returns the core id as a `usize` index, for array indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(v: usize) -> Self {
+        debug_assert!(v <= u16::MAX as usize, "core id out of range: {v}");
+        CoreId(v as u16)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(v: u16) -> Self {
+        CoreId(v)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n: NodeId = 3usize.into();
+        assert_eq!(n.index(), 3);
+        assert_eq!(n, NodeId(3));
+        assert_eq!(n.to_string(), "node3");
+    }
+
+    #[test]
+    fn core_id_roundtrip() {
+        let c: CoreId = 17usize.into();
+        assert_eq!(c.index(), 17);
+        assert_eq!(c.to_string(), "core17");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(CoreId(5) < CoreId(6));
+    }
+}

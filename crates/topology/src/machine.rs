@@ -1,0 +1,267 @@
+//! Machine specifications: node/core layout plus the paper's two presets.
+
+use crate::ids::{CoreId, NodeId};
+use crate::interconnect::Interconnect;
+use serde::{Deserialize, Serialize};
+
+/// Per-node hardware description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Number of cores on this node.
+    pub cores: u16,
+    /// Bytes of DRAM attached to this node's memory controller.
+    pub dram_bytes: u64,
+}
+
+/// A full NUMA machine description.
+///
+/// A `MachineSpec` is pure data: it has no behaviour beyond lookups. The
+/// memory-system and virtual-memory simulators are configured from it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MachineSpec {
+    name: String,
+    clock_ghz: f64,
+    nodes: Vec<NodeSpec>,
+    topology: Interconnect,
+    /// `core_node[c]` = node hosting global core `c`.
+    core_node: Vec<NodeId>,
+}
+
+impl MachineSpec {
+    /// Builds a machine from homogeneous nodes.
+    ///
+    /// Cores are numbered node-major: node 0 owns cores `0..cores_per_node`,
+    /// node 1 the next block, and so on — matching how the paper's machines
+    /// expose cores to the OS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology.num_nodes()` does not match `num_nodes`, or if any
+    /// count is zero.
+    pub fn homogeneous(
+        name: impl Into<String>,
+        clock_ghz: f64,
+        num_nodes: usize,
+        cores_per_node: u16,
+        dram_bytes_per_node: u64,
+        topology: Interconnect,
+    ) -> Self {
+        assert!(num_nodes > 0, "machine needs at least one node");
+        assert!(cores_per_node > 0, "nodes need at least one core");
+        assert!(clock_ghz > 0.0, "clock must be positive");
+        assert_eq!(
+            topology.num_nodes(),
+            num_nodes,
+            "interconnect size must match node count"
+        );
+        let nodes = vec![
+            NodeSpec {
+                cores: cores_per_node,
+                dram_bytes: dram_bytes_per_node,
+            };
+            num_nodes
+        ];
+        let mut core_node = Vec::with_capacity(num_nodes * cores_per_node as usize);
+        for n in 0..num_nodes {
+            for _ in 0..cores_per_node {
+                core_node.push(NodeId::from(n));
+            }
+        }
+        MachineSpec {
+            name: name.into(),
+            clock_ghz,
+            nodes,
+            topology,
+            core_node,
+        }
+    }
+
+    /// "Machine A" from the paper: two 1.7 GHz AMD Opteron 6164 HE packages
+    /// (Magny-Cours), 4 NUMA nodes × 6 cores × 16 GB, HyperTransport 3.0.
+    ///
+    /// Each package holds two dies; the four dies are fully connected (in the
+    /// real machine one pair is connected at half link width, which we fold
+    /// into the uniform per-hop latency).
+    pub fn machine_a() -> Self {
+        MachineSpec::homogeneous("machine-a", 1.7, 4, 6, 16 << 30, Interconnect::full_mesh(4))
+    }
+
+    /// "Machine B" from the paper: four AMD Opteron 6272 packages
+    /// (Interlagos), 8 NUMA nodes × 8 cores × 64 GB, HyperTransport 3.0.
+    ///
+    /// The dies form the twisted-ladder topology typical of 4-package G34
+    /// boards: intra-package links plus a partial mesh between packages, with
+    /// a network diameter of 2 hops.
+    pub fn machine_b() -> Self {
+        // Nodes 2k and 2k+1 are the two dies of package k.
+        let edges = [
+            // Intra-package links.
+            (0, 1),
+            (2, 3),
+            (4, 5),
+            (6, 7),
+            // Inter-package ladder (each die reaches two remote packages).
+            (0, 2),
+            (0, 4),
+            (1, 3),
+            (1, 5),
+            (2, 6),
+            (3, 7),
+            (4, 6),
+            (5, 7),
+            (2, 4),
+            (3, 5),
+            // Diagonals that give the real machine its 2-hop diameter.
+            (0, 6),
+            (1, 7),
+        ];
+        MachineSpec::homogeneous(
+            "machine-b",
+            2.1,
+            8,
+            8,
+            64 << 30,
+            Interconnect::new(8, &edges),
+        )
+    }
+
+    /// A tiny two-node machine, convenient for unit tests.
+    pub fn test_machine() -> Self {
+        MachineSpec::homogeneous("test-2node", 2.0, 2, 2, 1 << 30, Interconnect::full_mesh(2))
+    }
+
+    /// Human-readable machine name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Core clock frequency in GHz; used to convert cycles to wall time.
+    #[inline]
+    pub fn clock_ghz(&self) -> f64 {
+        self.clock_ghz
+    }
+
+    /// Converts a cycle count to milliseconds at this machine's clock.
+    #[inline]
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e6)
+    }
+
+    /// Converts milliseconds to cycles at this machine's clock.
+    #[inline]
+    pub fn ms_to_cycles(&self, ms: f64) -> u64 {
+        (ms * self.clock_ghz * 1e6) as u64
+    }
+
+    /// Number of NUMA nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-node specifications.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Total number of cores across the machine.
+    #[inline]
+    pub fn total_cores(&self) -> usize {
+        self.core_node.len()
+    }
+
+    /// Total DRAM across all nodes, in bytes.
+    #[inline]
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dram_bytes).sum()
+    }
+
+    /// The node hosting a given core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    #[inline]
+    pub fn node_of_core(&self, core: CoreId) -> NodeId {
+        self.core_node[core.index()]
+    }
+
+    /// Global ids of the cores on a given node.
+    pub fn cores_of_node(&self, node: NodeId) -> impl Iterator<Item = CoreId> + '_ {
+        self.core_node
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &n)| n == node)
+            .map(|(i, _)| CoreId::from(i))
+    }
+
+    /// The interconnect graph and routing tables.
+    #[inline]
+    pub fn topology(&self) -> &Interconnect {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_a_matches_paper() {
+        let m = MachineSpec::machine_a();
+        assert_eq!(m.num_nodes(), 4);
+        assert_eq!(m.total_cores(), 24);
+        assert_eq!(m.total_dram_bytes(), 64 << 30);
+        assert_eq!(m.topology().diameter(), 1);
+        assert!((m.clock_ghz() - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn machine_b_matches_paper() {
+        let m = MachineSpec::machine_b();
+        assert_eq!(m.num_nodes(), 8);
+        assert_eq!(m.total_cores(), 64);
+        assert_eq!(m.total_dram_bytes(), 512 << 30);
+        // The twisted ladder keeps every node within 2 hops.
+        assert_eq!(m.topology().diameter(), 2);
+    }
+
+    #[test]
+    fn cores_are_node_major() {
+        let m = MachineSpec::machine_a();
+        assert_eq!(m.node_of_core(CoreId(0)), NodeId(0));
+        assert_eq!(m.node_of_core(CoreId(5)), NodeId(0));
+        assert_eq!(m.node_of_core(CoreId(6)), NodeId(1));
+        assert_eq!(m.node_of_core(CoreId(23)), NodeId(3));
+    }
+
+    #[test]
+    fn cores_of_node_is_inverse_of_node_of_core() {
+        let m = MachineSpec::machine_b();
+        for n in 0..m.num_nodes() {
+            let node = NodeId::from(n);
+            let cores: Vec<_> = m.cores_of_node(node).collect();
+            assert_eq!(cores.len(), 8);
+            for c in cores {
+                assert_eq!(m.node_of_core(c), node);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_time_conversions_roundtrip() {
+        let m = MachineSpec::machine_b();
+        let cycles = 2_100_000; // 1 ms at 2.1 GHz.
+        assert!((m.cycles_to_ms(cycles) - 1.0).abs() < 1e-9);
+        assert_eq!(m.ms_to_cycles(1.0), cycles);
+    }
+
+    #[test]
+    fn test_machine_is_small() {
+        let m = MachineSpec::test_machine();
+        assert_eq!(m.num_nodes(), 2);
+        assert_eq!(m.total_cores(), 4);
+    }
+}

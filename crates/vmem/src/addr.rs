@@ -1,0 +1,126 @@
+//! Address newtypes, size constants, and alignment helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kibibyte.
+pub const KIB: u64 = 1 << 10;
+/// One mebibyte.
+pub const MIB: u64 = 1 << 20;
+/// One gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// Size of a base page (4 KiB).
+pub const PAGE_4K: u64 = 4 * KIB;
+/// Size of a large page (2 MiB).
+pub const PAGE_2M: u64 = 2 * MIB;
+/// Size of a very large ("giant") page (1 GiB).
+pub const PAGE_1G: u64 = GIB;
+
+/// A virtual address.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl VirtAddr {
+    /// Rounds down to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_down(self, align: u64) -> VirtAddr {
+        debug_assert!(align.is_power_of_two());
+        VirtAddr(self.0 & !(align - 1))
+    }
+
+    /// Offset of this address within an `align`-sized naturally-aligned block.
+    #[inline]
+    pub fn offset_in(self, align: u64) -> u64 {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1)
+    }
+
+    /// Whether this address is a multiple of `align` (a power of two).
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.offset_in(align) == 0
+    }
+}
+
+impl PhysAddr {
+    /// Rounds down to a multiple of `align` (a power of two).
+    #[inline]
+    pub fn align_down(self, align: u64) -> PhysAddr {
+        debug_assert!(align.is_power_of_two());
+        PhysAddr(self.0 & !(align - 1))
+    }
+
+    /// Whether this address is a multiple of `align` (a power of two).
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(v: u64) -> Self {
+        VirtAddr(v)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(PAGE_2M / PAGE_4K, 512);
+        assert_eq!(PAGE_1G / PAGE_2M, 512);
+        assert_eq!(PAGE_1G / PAGE_4K, 512 * 512);
+    }
+
+    #[test]
+    fn align_down_masks_low_bits() {
+        let a = VirtAddr(0x20_1234);
+        assert_eq!(a.align_down(PAGE_4K), VirtAddr(0x20_1000));
+        assert_eq!(a.align_down(PAGE_2M), VirtAddr(0x20_0000));
+        assert_eq!(a.offset_in(PAGE_4K), 0x234);
+    }
+
+    #[test]
+    fn alignment_predicate() {
+        assert!(VirtAddr(0x40_0000).is_aligned(PAGE_2M));
+        assert!(!VirtAddr(0x40_1000).is_aligned(PAGE_2M));
+        assert!(VirtAddr(0x40_1000).is_aligned(PAGE_4K));
+        assert!(PhysAddr(0).is_aligned(PAGE_1G));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VirtAddr(0x1000).to_string(), "v0x1000");
+        assert_eq!(PhysAddr(0x2000).to_string(), "p0x2000");
+    }
+}

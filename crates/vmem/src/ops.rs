@@ -1,0 +1,141 @@
+//! Cycle cost model for page faults and page operations.
+//!
+//! The paper's algorithm constantly weighs the *cost* of fixing a NUMA
+//! problem (migrating, splitting, collapsing pages — each with TLB
+//! shootdowns) against the benefit. This module centralizes those costs so
+//! that policies and the engine charge consistent numbers, and so that the
+//! ablation benches can vary them.
+
+use crate::table::PageSize;
+use serde::{Deserialize, Serialize};
+
+/// The cycles charged for one virtual-memory operation.
+pub type OpCost = u64;
+
+/// Tunable cost model, in cycles (calibrated for a ≈2 GHz core).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OpCostModel {
+    /// Fixed entry/exit cost of a page fault (trap, locks, bookkeeping).
+    pub fault_fixed: u64,
+    /// Cost per KiB of zeroing freshly allocated memory.
+    pub zero_per_kib: u64,
+    /// Extra fault cycles per *other* thread concurrently in the fault
+    /// handler — models page-table lock and mmap_sem contention, the reason
+    /// the paper tracks the *maximum* per-core fault time.
+    pub fault_contention_per_thread: u64,
+    /// Fixed cost of migrating one page (syscall, PTE rewrite, bookkeeping).
+    pub migrate_fixed: u64,
+    /// Cost per KiB copied during migration or collapse.
+    pub copy_per_kib: u64,
+    /// Fixed cost of splitting a huge page (PTE table population; no copy).
+    pub split_fixed: u64,
+    /// Fixed cost of collapsing 512 small pages into a huge one, excluding
+    /// the copy (scan, locks).
+    pub collapse_fixed: u64,
+    /// Cost per core of a TLB shootdown IPI.
+    pub shootdown_per_core: u64,
+}
+
+impl Default for OpCostModel {
+    fn default() -> Self {
+        OpCostModel {
+            fault_fixed: 500,
+            zero_per_kib: 40,
+            fault_contention_per_thread: 22,
+            migrate_fixed: 2600,
+            copy_per_kib: 60,
+            split_fixed: 9000,
+            collapse_fixed: 14000,
+            shootdown_per_core: 40,
+        }
+    }
+}
+
+impl OpCostModel {
+    /// Cost of a demand-zero page fault for a page of `size`, with
+    /// `concurrent` other threads in the fault handler at the same time.
+    ///
+    /// Giant (1 GiB) pages are excluded from the zeroing charge: they come
+    /// from libhugetlbfs's boot-time reserved pool, which is populated and
+    /// zeroed before the application starts.
+    pub fn fault(&self, size: PageSize, concurrent: usize) -> OpCost {
+        let zero = if size == PageSize::Size1G {
+            0
+        } else {
+            self.zero_per_kib * (size.bytes() >> 10)
+        };
+        self.fault_fixed + zero + self.fault_contention_per_thread * concurrent as u64
+    }
+
+    /// Cost of migrating one page of `size` to another node, including the
+    /// copy and a shootdown across `cores` cores.
+    pub fn migrate(&self, size: PageSize, cores: usize) -> OpCost {
+        self.migrate_fixed
+            + self.copy_per_kib * (size.bytes() >> 10)
+            + self.shootdown_per_core * cores as u64
+    }
+
+    /// Cost of splitting one huge or giant page (no data copy), including a
+    /// shootdown across `cores` cores.
+    pub fn split(&self, cores: usize) -> OpCost {
+        self.split_fixed + self.shootdown_per_core * cores as u64
+    }
+
+    /// Cost of collapsing into one page of `size` (khugepaged-style copy
+    /// into a fresh frame), including a shootdown across `cores` cores.
+    pub fn collapse(&self, size: PageSize, cores: usize) -> OpCost {
+        self.collapse_fixed
+            + self.copy_per_kib * (size.bytes() >> 10)
+            + self.shootdown_per_core * cores as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huge_fault_costs_more_than_small_but_less_than_512_small() {
+        let m = OpCostModel::default();
+        let small = m.fault(PageSize::Size4K, 0);
+        let huge = m.fault(PageSize::Size2M, 0);
+        assert!(huge > small);
+        // The whole point of THP for fault-bound phases: one huge fault is
+        // far cheaper than the 512 small faults it replaces.
+        assert!(
+            huge < 512 * small,
+            "huge {huge} vs 512*small {}",
+            512 * small
+        );
+    }
+
+    #[test]
+    fn contention_raises_fault_cost() {
+        let m = OpCostModel::default();
+        assert!(m.fault(PageSize::Size4K, 23) > m.fault(PageSize::Size4K, 0));
+    }
+
+    #[test]
+    fn migration_scales_with_size() {
+        let m = OpCostModel::default();
+        let small = m.migrate(PageSize::Size4K, 24);
+        let huge = m.migrate(PageSize::Size2M, 24);
+        assert!(
+            huge > 20 * small,
+            "2 MiB migration dominated by the copy: {huge} vs {small}"
+        );
+    }
+
+    #[test]
+    fn split_is_much_cheaper_than_huge_migration() {
+        let m = OpCostModel::default();
+        assert!(m.split(24) * 10 < m.migrate(PageSize::Size2M, 24));
+    }
+
+    #[test]
+    fn collapse_includes_copy() {
+        let m = OpCostModel::default();
+        let c = m.collapse(PageSize::Size2M, 24);
+        assert!(c > m.copy_per_kib * 2048);
+    }
+}

@@ -1,0 +1,194 @@
+//! Read-only page replication.
+//!
+//! The original Carrefour system (Dashti et al., ASPLOS '13) has a third
+//! mechanism beside migration and interleaving: *replication* of read-mostly
+//! shared pages, giving every node a local copy. This paper's summary of
+//! Carrefour omits it (its benchmarks are write-heavy enough that the
+//! kernel module rarely engaged it), but the reproduction implements it as
+//! an optional extension so the complete mechanism space can be explored —
+//! see the `replication` ablation bench.
+//!
+//! Model: a 4 KiB page may carry one replica frame per node. Reads are
+//! serviced by the reader's local replica; any store collapses the replica
+//! set back to the master copy (writes to a replicated page are rare by
+//! selection — the policy only replicates pages whose samples contain no
+//! stores).
+
+use crate::addr::{PhysAddr, VirtAddr};
+use crate::table::{Mapping, PageSize};
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The replica frames of one virtual page (master excluded).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReplicaSet {
+    /// `frames[n]` = the frame on node `n`, if one exists.
+    frames: BTreeMap<u16, PhysAddr>,
+}
+
+impl ReplicaSet {
+    /// The replica frame on `node`, if any.
+    #[inline]
+    pub fn on(&self, node: NodeId) -> Option<PhysAddr> {
+        self.frames.get(&node.0).copied()
+    }
+
+    /// Records a replica frame for `node`.
+    pub fn insert(&mut self, node: NodeId, frame: PhysAddr) {
+        self.frames.insert(node.0, frame);
+    }
+
+    /// All `(node, frame)` pairs, for freeing on collapse.
+    pub fn drain(&mut self) -> Vec<(NodeId, PhysAddr)> {
+        std::mem::take(&mut self.frames)
+            .into_iter()
+            .map(|(n, f)| (NodeId(n), f))
+            .collect()
+    }
+
+    /// Number of replica frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// The replica table of an address space.
+///
+/// Kept separate from the page table: replicas are a placement-layer
+/// concept (the hardware sees per-node page tables in the real system; the
+/// simulator resolves them at translation time).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ReplicaTable {
+    pages: BTreeMap<u64, ReplicaSet>,
+    /// Lifetime count of replica creations.
+    pub created: u64,
+    /// Lifetime count of collapses (a store hit a replicated page).
+    pub collapsed: u64,
+}
+
+impl ReplicaTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any page is currently replicated (cheap fast-path check).
+    #[inline]
+    pub fn any(&self) -> bool {
+        !self.pages.is_empty()
+    }
+
+    /// Resolves the mapping a reader on `node` should use: its local
+    /// replica when one exists, the master mapping otherwise.
+    #[inline]
+    pub fn resolve(&self, master: Mapping, node: NodeId) -> Mapping {
+        if master.size != PageSize::Size4K || self.pages.is_empty() {
+            return master;
+        }
+        match self.pages.get(&master.vbase.0).and_then(|set| set.on(node)) {
+            Some(frame) => Mapping {
+                frame,
+                node,
+                ..master
+            },
+            None => master,
+        }
+    }
+
+    /// Whether the page at `vbase` has replicas.
+    pub fn is_replicated(&self, vbase: VirtAddr) -> bool {
+        self.pages.contains_key(&vbase.0)
+    }
+
+    /// Registers a replica frame for `(vbase, node)`.
+    pub fn add(&mut self, vbase: VirtAddr, node: NodeId, frame: PhysAddr) {
+        self.pages.entry(vbase.0).or_default().insert(node, frame);
+        self.created += 1;
+    }
+
+    /// Removes a page's replica set, returning the frames to free.
+    pub fn collapse(&mut self, vbase: VirtAddr) -> Vec<(NodeId, PhysAddr)> {
+        match self.pages.remove(&vbase.0) {
+            Some(mut set) => {
+                self.collapsed += 1;
+                set.drain()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of currently replicated pages.
+    pub fn replicated_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn master(vbase: u64) -> Mapping {
+        Mapping {
+            vbase: VirtAddr(vbase),
+            frame: PhysAddr(0x10_0000),
+            node: NodeId(0),
+            size: PageSize::Size4K,
+        }
+    }
+
+    #[test]
+    fn resolve_prefers_local_replica() {
+        let mut t = ReplicaTable::new();
+        let m = master(0x4000);
+        t.add(m.vbase, NodeId(1), PhysAddr(0x20_0000));
+        let local = t.resolve(m, NodeId(1));
+        assert_eq!(local.frame, PhysAddr(0x20_0000));
+        assert_eq!(local.node, NodeId(1));
+        // A node without a replica uses the master.
+        let remote = t.resolve(m, NodeId(2));
+        assert_eq!(remote.frame, m.frame);
+        assert_eq!(remote.node, NodeId(0));
+    }
+
+    #[test]
+    fn huge_mappings_are_never_resolved() {
+        let mut t = ReplicaTable::new();
+        let mut m = master(0x20_0000);
+        m.size = PageSize::Size2M;
+        t.add(VirtAddr(0x20_0000), NodeId(1), PhysAddr(0x30_0000));
+        let r = t.resolve(m, NodeId(1));
+        assert_eq!(r.frame, m.frame, "replication is 4 KiB-only");
+    }
+
+    #[test]
+    fn collapse_returns_all_frames() {
+        let mut t = ReplicaTable::new();
+        let m = master(0x4000);
+        t.add(m.vbase, NodeId(1), PhysAddr(0x20_0000));
+        t.add(m.vbase, NodeId(2), PhysAddr(0x30_0000));
+        assert!(t.is_replicated(m.vbase));
+        let freed = t.collapse(m.vbase);
+        assert_eq!(freed.len(), 2);
+        assert!(!t.is_replicated(m.vbase));
+        assert_eq!(t.collapsed, 1);
+        assert_eq!(t.created, 2);
+        // Idempotent.
+        assert!(t.collapse(m.vbase).is_empty());
+    }
+
+    #[test]
+    fn any_is_a_cheap_emptiness_check() {
+        let mut t = ReplicaTable::new();
+        assert!(!t.any());
+        t.add(VirtAddr(0x1000), NodeId(0), PhysAddr(0x999000));
+        assert!(t.any());
+        t.collapse(VirtAddr(0x1000));
+        assert!(!t.any());
+    }
+}

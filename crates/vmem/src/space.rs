@@ -1,0 +1,829 @@
+//! The address space: VMAs, demand faulting, THP, and page operations.
+
+use crate::addr::{VirtAddr, PAGE_1G, PAGE_2M, PAGE_4K};
+use crate::frame::{FrameAllocator, FrameError};
+use crate::ops::{OpCost, OpCostModel};
+use crate::replica::ReplicaTable;
+use crate::table::{Mapping, PageSize, PageTable, TableError, WalkResult};
+use crate::tlb::TlbConfig;
+use numa_topology::{MachineSpec, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from address-space operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpaceError {
+    /// The address is not inside any mapped region.
+    NoRegion,
+    /// The address is already mapped.
+    AlreadyMapped,
+    /// Expected a mapping (of a particular shape) and found none.
+    NotMapped,
+    /// Physical memory exhausted.
+    Frame(FrameError),
+    /// Regions must not overlap and must be aligned.
+    BadRegion,
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::NoRegion => write!(f, "address outside every region"),
+            SpaceError::AlreadyMapped => write!(f, "address already mapped"),
+            SpaceError::NotMapped => write!(f, "no mapping in the expected state"),
+            SpaceError::Frame(e) => write!(f, "frame allocation failed: {e}"),
+            SpaceError::BadRegion => write!(f, "invalid region"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+impl From<FrameError> for SpaceError {
+    fn from(e: FrameError) -> Self {
+        SpaceError::Frame(e)
+    }
+}
+
+impl From<TableError> for SpaceError {
+    fn from(e: TableError) -> Self {
+        match e {
+            TableError::AlreadyMapped => SpaceError::AlreadyMapped,
+            TableError::NotMappedAsExpected => SpaceError::NotMapped,
+            TableError::Frame(f) => SpaceError::Frame(f),
+        }
+    }
+}
+
+/// Runtime-tunable THP switches — exactly the knobs Algorithm 1 toggles.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ThpControls {
+    /// Back new anonymous faults with 2 MiB pages when possible
+    /// (`/sys/.../transparent_hugepage/enabled`).
+    pub alloc_2m: bool,
+    /// Let the promotion scanner collapse aligned small-page runs
+    /// (khugepaged).
+    pub promote_2m: bool,
+    /// Back new faults with 1 GiB pages when possible (the libhugetlbfs-style
+    /// configuration of Section 4.4).
+    pub alloc_1g: bool,
+}
+
+impl ThpControls {
+    /// Linux with THP enabled (the paper's "THP" configuration).
+    pub fn thp() -> Self {
+        ThpControls {
+            alloc_2m: true,
+            promote_2m: true,
+            alloc_1g: false,
+        }
+    }
+
+    /// Linux with 4 KiB pages only (the paper's baseline).
+    pub fn small_only() -> Self {
+        ThpControls {
+            alloc_2m: false,
+            promote_2m: false,
+            alloc_1g: false,
+        }
+    }
+
+    /// 1 GiB pages wherever possible (Section 4.4).
+    pub fn giant() -> Self {
+        ThpControls {
+            alloc_2m: true,
+            promote_2m: false,
+            alloc_1g: true,
+        }
+    }
+}
+
+/// Configuration of the virtual-memory subsystem.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct VmemConfig {
+    /// TLB geometry used for the per-core TLBs.
+    pub tlb: TlbConfig,
+    /// Cost model for faults and page operations.
+    pub costs: OpCostModel,
+    /// Initial THP switches.
+    pub thp: ThpControls,
+}
+
+impl Default for VmemConfig {
+    fn default() -> Self {
+        VmemConfig {
+            tlb: TlbConfig::default(),
+            costs: OpCostModel::default(),
+            thp: ThpControls::thp(),
+        }
+    }
+}
+
+/// Lifetime statistics of one address space.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VmemStats {
+    /// Demand faults that installed a 4 KiB page.
+    pub faults_4k: u64,
+    /// Demand faults that installed a 2 MiB page.
+    pub faults_2m: u64,
+    /// Demand faults that installed a 1 GiB page.
+    pub faults_1g: u64,
+    /// Pages migrated, by size.
+    pub migrations_4k: u64,
+    /// 2 MiB pages migrated whole.
+    pub migrations_2m: u64,
+    /// Huge/giant pages split.
+    pub splits: u64,
+    /// Small-page runs collapsed into huge pages.
+    pub collapses: u64,
+    /// Read-only replicas created (Carrefour replication extension).
+    pub replications: u64,
+    /// Replica sets collapsed by stores.
+    pub replica_collapses: u64,
+    /// Bytes copied by migrations and collapses.
+    pub bytes_copied: u64,
+}
+
+/// The outcome of a successful demand fault.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultOutcome {
+    /// The freshly installed mapping.
+    pub mapping: Mapping,
+    /// Cycles consumed in the fault handler (excluding lock contention,
+    /// which the engine adds since it knows how many threads are faulting).
+    pub cycles: OpCost,
+}
+
+/// A registered anonymous memory region.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+struct Region {
+    base: u64,
+    len: u64,
+}
+
+/// One process's address space on one machine.
+///
+/// Owns the machine's frame allocator and the page table; the engine owns
+/// the per-core TLBs (they are per-CPU state, not per-address-space).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AddressSpace {
+    frames: FrameAllocator,
+    table: PageTable,
+    regions: Vec<Region>,
+    thp: ThpControls,
+    costs: OpCostModel,
+    stats: VmemStats,
+    total_cores: usize,
+    /// khugepaged scan cursor (virtual address of the next 2 MiB candidate).
+    scan_cursor: u64,
+    /// 2 MiB ranges deliberately split by policy: khugepaged must not
+    /// re-collapse them (Linux's `MADV_NOHUGEPAGE` marking) until promotion
+    /// is explicitly re-enabled.
+    no_promote: std::collections::BTreeSet<u64>,
+    /// Read-only replicas of 4 KiB pages (the optional Carrefour
+    /// replication extension).
+    replicas: ReplicaTable,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for `machine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if even the page-table root cannot be allocated (machine with
+    /// no memory).
+    pub fn new(machine: &MachineSpec, config: VmemConfig) -> Self {
+        let mut frames = FrameAllocator::new(machine);
+        let table = PageTable::new(&mut frames, NodeId(0)).expect("root table frame");
+        AddressSpace {
+            frames,
+            table,
+            regions: Vec::new(),
+            thp: config.thp,
+            costs: config.costs,
+            stats: VmemStats::default(),
+            total_cores: machine.total_cores(),
+            scan_cursor: 0,
+            no_promote: std::collections::BTreeSet::new(),
+            replicas: ReplicaTable::new(),
+        }
+    }
+
+    /// Registers an anonymous region at `[base, base + len)`.
+    ///
+    /// `base` must be 1 GiB-aligned (so the region can hold pages of every
+    /// size) and `len` a positive multiple of 4 KiB; regions must not
+    /// overlap.
+    pub fn map_region(&mut self, base: u64, len: u64) -> Result<(), SpaceError> {
+        if !base.is_multiple_of(PAGE_1G) || len == 0 || !len.is_multiple_of(PAGE_4K) {
+            return Err(SpaceError::BadRegion);
+        }
+        let overlaps = self
+            .regions
+            .iter()
+            .any(|r| base < r.base + r.len && r.base < base + len);
+        if overlaps {
+            return Err(SpaceError::BadRegion);
+        }
+        self.regions.push(Region { base, len });
+        Ok(())
+    }
+
+    fn region_of(&self, vaddr: VirtAddr) -> Option<Region> {
+        self.regions
+            .iter()
+            .copied()
+            .find(|r| vaddr.0 >= r.base && vaddr.0 < r.base + r.len)
+    }
+
+    /// Fast-path translation (no walk simulation).
+    #[inline]
+    pub fn translate(&self, vaddr: VirtAddr) -> Option<Mapping> {
+        self.table.translate(vaddr)
+    }
+
+    /// Resolves a mapping for a reader on `node`, substituting the local
+    /// replica frame when the page is replicated.
+    #[inline]
+    pub fn resolve_replica(&self, master: Mapping, node: NodeId) -> Mapping {
+        self.replicas.resolve(master, node)
+    }
+
+    /// Whether any page is currently replicated (hot-path fast check).
+    #[inline]
+    pub fn has_replicas(&self) -> bool {
+        self.replicas.any()
+    }
+
+    /// Whether the 4 KiB page at `vbase` is replicated.
+    #[inline]
+    pub fn is_replicated(&self, vbase: VirtAddr) -> bool {
+        self.replicas.is_replicated(vbase)
+    }
+
+    /// Number of currently replicated pages.
+    pub fn replicated_pages(&self) -> usize {
+        self.replicas.replicated_pages()
+    }
+
+    /// Replicates the 4 KiB page covering `vaddr` onto every node that
+    /// lacks a copy (the Carrefour replication extension; only meaningful
+    /// for read-mostly pages — any store collapses the set).
+    ///
+    /// Returns the cycles consumed. The caller must shoot down the page's
+    /// TLB entries so readers re-resolve to their local replica.
+    pub fn replicate(&mut self, vaddr: VirtAddr, num_nodes: usize) -> Result<OpCost, SpaceError> {
+        let m = self.table.translate(vaddr).ok_or(SpaceError::NotMapped)?;
+        if m.size != PageSize::Size4K {
+            return Err(SpaceError::NotMapped);
+        }
+        let mut cost: OpCost = 0;
+        for n in 0..num_nodes {
+            let node = NodeId::from(n);
+            if node == m.node || self.replicas.resolve(m, node).node == node {
+                continue;
+            }
+            let frame = self.frames.alloc(node, PageSize::Size4K)?;
+            self.replicas.add(m.vbase, node, frame);
+            self.stats.replications += 1;
+            self.stats.bytes_copied += PAGE_4K;
+            cost += self.costs.migrate(PageSize::Size4K, 0);
+        }
+        Ok(cost)
+    }
+
+    /// Collapses the replica set of the page at `vbase` (a store hit it).
+    /// Returns the cycles consumed; the caller must shoot down the page.
+    pub fn collapse_replicas(&mut self, vbase: VirtAddr) -> OpCost {
+        let freed = self.replicas.collapse(vbase);
+        if freed.is_empty() {
+            return 0;
+        }
+        self.stats.replica_collapses += 1;
+        for (_, frame) in freed {
+            self.frames.free(frame, PageSize::Size4K);
+        }
+        self.costs.split(self.total_cores) / 2
+    }
+
+    /// Simulated hardware walk (physical PTE references included).
+    #[inline]
+    pub fn walk(&self, vaddr: VirtAddr) -> WalkResult {
+        self.table.walk(vaddr)
+    }
+
+    /// Whether a page of `size` covering `vaddr` would lie entirely inside
+    /// the region containing `vaddr`.
+    ///
+    /// Giant (1 GiB) pages are exempt from the tail check: libhugetlbfs
+    /// reserves mappings as whole gigabyte pages, so a region shorter than
+    /// 1 GiB is still backed by one giant page whose tail is simply never
+    /// touched (regions are 1 GiB-aligned by construction).
+    fn size_fits(&self, region: Region, vaddr: VirtAddr, size: PageSize) -> bool {
+        let pbase = vaddr.align_down(size.bytes()).0;
+        if size == PageSize::Size1G {
+            return pbase >= region.base;
+        }
+        pbase >= region.base && pbase + size.bytes() <= region.base + region.len
+    }
+
+    /// Handles a demand fault at `vaddr` from a thread on `node`.
+    ///
+    /// Placement is first-touch with fallback; page size is the largest
+    /// enabled size that fits the region and for which a frame is free
+    /// on the preferred node (falling back to smaller sizes before falling
+    /// back to remote nodes, matching THP's behaviour).
+    pub fn fault(&mut self, vaddr: VirtAddr, node: NodeId) -> Result<FaultOutcome, SpaceError> {
+        let region = self.region_of(vaddr).ok_or(SpaceError::NoRegion)?;
+        if self.table.translate(vaddr).is_some() {
+            return Err(SpaceError::AlreadyMapped);
+        }
+
+        let mut candidates: Vec<PageSize> = Vec::with_capacity(3);
+        if self.thp.alloc_1g {
+            candidates.push(PageSize::Size1G);
+        }
+        if self.thp.alloc_2m {
+            candidates.push(PageSize::Size2M);
+        }
+        candidates.push(PageSize::Size4K);
+
+        for size in candidates {
+            if !self.size_fits(region, vaddr, size) {
+                continue;
+            }
+            let vbase = vaddr.align_down(size.bytes());
+            // A larger page may be blocked by an existing smaller mapping
+            // within its range (partial population): only take it if the
+            // whole range is empty. Checking the base is sufficient for our
+            // workloads' forward-touch patterns, but stay exact: scan leaf
+            // presence via translate of each child base would be O(512), so
+            // approximate with the two ends plus the faulting page.
+            let probes = [
+                vbase,
+                VirtAddr(vbase.0 + size.bytes() - PAGE_4K),
+                vaddr.align_down(PAGE_4K),
+            ];
+            if probes.iter().any(|&p| self.table.translate(p).is_some()) {
+                continue;
+            }
+            let got = if size == PageSize::Size4K {
+                // Small pages may fall back to remote nodes.
+                self.frames.alloc_fallback(node, size).ok()
+            } else {
+                // Huge pages are only taken when available locally; otherwise
+                // THP falls back to smaller sizes (no remote huge pages at
+                // fault time, as in Linux's default `defrag` behaviour).
+                self.frames.alloc(node, size).ok().map(|f| (f, node))
+            };
+            let Some((frame, got_node)) = got else {
+                if size == PageSize::Size4K {
+                    return Err(SpaceError::Frame(FrameError::OutOfMemoryEverywhere));
+                }
+                continue;
+            };
+            let mapping = Mapping {
+                vbase,
+                frame,
+                node: got_node,
+                size,
+            };
+            if let Err(e) = self.table.map(mapping, &mut self.frames, got_node) {
+                if matches!(e, TableError::AlreadyMapped) && size != PageSize::Size4K {
+                    // The three-point probe above is a heuristic: a small
+                    // page elsewhere in the range defeats a huge mapping.
+                    // Give the frame back and fall through to smaller sizes.
+                    self.frames.free(frame, size);
+                    continue;
+                }
+                return Err(e.into());
+            }
+            match size {
+                PageSize::Size4K => self.stats.faults_4k += 1,
+                PageSize::Size2M => self.stats.faults_2m += 1,
+                PageSize::Size1G => self.stats.faults_1g += 1,
+            }
+            return Ok(FaultOutcome {
+                mapping,
+                cycles: self.costs.fault(size, 0),
+            });
+        }
+        Err(SpaceError::NoRegion)
+    }
+
+    /// Migrates the page covering `vaddr` to `target`, copying it into a
+    /// fresh frame there. Fails (leaving the page in place) if `target` has
+    /// no free frame of the right size.
+    ///
+    /// Returns the old mapping and the cycles consumed; the caller must
+    /// shoot down TLB entries for `old.vbase`.
+    pub fn migrate(
+        &mut self,
+        vaddr: VirtAddr,
+        target: NodeId,
+    ) -> Result<(Mapping, OpCost), SpaceError> {
+        let m = self.table.translate(vaddr).ok_or(SpaceError::NotMapped)?;
+        if self.replicas.is_replicated(m.vbase) {
+            self.collapse_replicas(m.vbase);
+        }
+        if m.node == target {
+            return Ok((m, 0));
+        }
+        let new_frame = self.frames.alloc(target, m.size)?;
+        let old = self.table.remap(m.vbase, new_frame, target)?;
+        self.frames.free(old.frame, old.size);
+        match m.size {
+            PageSize::Size4K => self.stats.migrations_4k += 1,
+            _ => self.stats.migrations_2m += 1,
+        }
+        self.stats.bytes_copied += m.size.bytes();
+        Ok((old, self.costs.migrate(m.size, self.total_cores)))
+    }
+
+    /// Splits the huge or giant page covering `vaddr` into 512 pages of the
+    /// next smaller size (no copy). Returns the pre-split mapping and the
+    /// cycles consumed; the caller must shoot down TLB entries for it.
+    pub fn split(&mut self, vaddr: VirtAddr) -> Result<(Mapping, OpCost), SpaceError> {
+        let old = self.table.split(vaddr, &mut self.frames)?;
+        self.stats.splits += 1;
+        // A deliberately-split page must not be immediately re-collapsed by
+        // khugepaged (the kernel marks it, as with MADV_NOHUGEPAGE).
+        if old.size == PageSize::Size2M {
+            self.no_promote.insert(old.vbase.0);
+        }
+        Ok((old, self.costs.split(self.total_cores)))
+    }
+
+    /// Collapses the 2 MiB-aligned run of 512 small pages at `vbase` into
+    /// one huge page on `target` (khugepaged). Returns the cycles consumed;
+    /// the caller must shoot down TLB entries for the 512 old pages.
+    pub fn collapse(&mut self, vbase: VirtAddr, target: NodeId) -> Result<OpCost, SpaceError> {
+        let new_frame = self.frames.alloc(target, PageSize::Size2M)?;
+        match self
+            .table
+            .collapse(vbase, PageSize::Size2M, new_frame, target)
+        {
+            Ok(out) => {
+                for m in &out.old_children {
+                    // A replicated child's replica frames die with it —
+                    // otherwise they leak and, worse, resurface stale if
+                    // the huge page is split again later.
+                    self.collapse_replicas(m.vbase);
+                    self.frames.free(m.frame, m.size);
+                }
+                self.frames.free(out.table_frame, PageSize::Size4K);
+                self.stats.collapses += 1;
+                self.stats.bytes_copied += PAGE_2M;
+                Ok(self.costs.collapse(PageSize::Size2M, self.total_cores))
+            }
+            Err(e) => {
+                self.frames.free(new_frame, PageSize::Size2M);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// One khugepaged scan step: examines up to `max_candidates` aligned
+    /// 2 MiB ranges (resuming where the last scan stopped) and collapses the
+    /// fully-populated, promotion-eligible ones onto their majority node.
+    ///
+    /// Returns the collapsed bases and the cycles consumed.
+    pub fn promotion_scan(&mut self, max_candidates: usize) -> (Vec<VirtAddr>, OpCost) {
+        if !self.thp.promote_2m {
+            return (Vec::new(), 0);
+        }
+        let mut collapsed = Vec::new();
+        let mut cycles: OpCost = 0;
+        // Gather candidate 2 MiB bases lazily: walk leaves and group.
+        let leaves = self.table.leaves();
+        let mut groups: std::collections::BTreeMap<u64, (usize, Vec<NodeId>)> =
+            std::collections::BTreeMap::new();
+        for m in &leaves {
+            if m.size == PageSize::Size4K {
+                let base = m.vbase.align_down(PAGE_2M).0;
+                let e = groups.entry(base).or_insert_with(|| (0, Vec::new()));
+                e.0 += 1;
+                e.1.push(m.node);
+            }
+        }
+        let mut window: Vec<(u64, usize, NodeId)> = Vec::with_capacity(max_candidates + 1);
+        for (base, (count, nodes)) in groups.range(self.scan_cursor..) {
+            if window.len() > max_candidates {
+                break;
+            }
+            window.push((*base, *count, majority_node(nodes)));
+        }
+        drop(groups);
+        if window.len() > max_candidates {
+            // Remember where to resume; the extra element marks the cursor.
+            let (resume, _, _) = window.pop().expect("just checked length");
+            self.scan_cursor = resume;
+        } else {
+            // Wrapped around the end: restart from the beginning next time.
+            self.scan_cursor = 0;
+        }
+        for (base, count, target) in window {
+            if count != 512 || self.no_promote.contains(&base) {
+                continue;
+            }
+            match self.collapse(VirtAddr(base), target) {
+                Ok(c) => {
+                    cycles += c;
+                    collapsed.push(VirtAddr(base));
+                }
+                Err(_) => continue, // no huge frame free: skip, retry later
+            }
+        }
+        (collapsed, cycles)
+    }
+
+    /// Current THP switches.
+    #[inline]
+    pub fn thp(&self) -> ThpControls {
+        self.thp
+    }
+
+    /// Mutable THP switches (the knobs Algorithm 1 toggles).
+    #[inline]
+    pub fn thp_mut(&mut self) -> &mut ThpControls {
+        &mut self.thp
+    }
+
+    /// Clears the per-range promotion inhibitions (called when promotion is
+    /// explicitly re-enabled: Algorithm 1 line 6 means "promote again").
+    pub fn clear_promote_inhibitions(&mut self) {
+        self.no_promote.clear();
+    }
+
+    /// Lifetime statistics.
+    #[inline]
+    pub fn stats(&self) -> &VmemStats {
+        &self.stats
+    }
+
+    /// The cost model in use.
+    #[inline]
+    pub fn costs(&self) -> &OpCostModel {
+        &self.costs
+    }
+
+    /// All leaf mappings in virtual-address order.
+    pub fn leaves(&self) -> Vec<Mapping> {
+        self.table.leaves()
+    }
+
+    /// Visits every leaf mapping without allocating.
+    pub fn for_each_leaf(&self, f: impl FnMut(&Mapping)) {
+        self.table.for_each_leaf(f)
+    }
+
+    /// Bytes of physical memory consumed by page tables.
+    pub fn table_bytes(&self) -> u64 {
+        self.table.table_bytes()
+    }
+
+    /// Free bytes on a node (exposed for tests and policies).
+    pub fn free_bytes(&self, node: NodeId) -> u64 {
+        self.frames.free_bytes(node)
+    }
+
+    /// Allocates a raw physical frame without mapping it (experiment setup:
+    /// pinned buffers, deliberate fragmentation).
+    pub fn alloc_frame(
+        &mut self,
+        node: NodeId,
+        size: PageSize,
+    ) -> Result<crate::addr::PhysAddr, SpaceError> {
+        Ok(self.frames.alloc(node, size)?)
+    }
+
+    /// Frees a raw frame taken with [`AddressSpace::alloc_frame`].
+    pub fn free_frame(&mut self, frame: crate::addr::PhysAddr, size: PageSize) {
+        self.frames.free(frame, size);
+    }
+}
+
+/// The most frequent node in `nodes` (lowest id wins ties).
+fn majority_node(nodes: &[NodeId]) -> NodeId {
+    let mut counts: std::collections::BTreeMap<NodeId, usize> = std::collections::BTreeMap::new();
+    for &n in nodes {
+        *counts.entry(n).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(node, count)| (count, std::cmp::Reverse(node)))
+        .map(|(node, _)| node)
+        .unwrap_or(NodeId(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        let machine = MachineSpec::test_machine();
+        AddressSpace::new(&machine, VmemConfig::default())
+    }
+
+    fn space_small_pages() -> AddressSpace {
+        let machine = MachineSpec::test_machine();
+        let config = VmemConfig {
+            thp: ThpControls::small_only(),
+            ..VmemConfig::default()
+        };
+        AddressSpace::new(&machine, config)
+    }
+
+    const BASE: u64 = 0x40_0000_0000;
+
+    #[test]
+    fn fault_with_thp_installs_huge_page() {
+        let mut s = space();
+        s.map_region(BASE, 64 << 20).unwrap();
+        let f = s.fault(VirtAddr(BASE + 0x1234), NodeId(1)).unwrap();
+        assert_eq!(f.mapping.size, PageSize::Size2M);
+        assert_eq!(f.mapping.node, NodeId(1));
+        assert_eq!(f.mapping.vbase, VirtAddr(BASE));
+        assert_eq!(s.stats().faults_2m, 1);
+    }
+
+    #[test]
+    fn fault_without_thp_installs_small_page() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 64 << 20).unwrap();
+        let f = s.fault(VirtAddr(BASE + 0x1234), NodeId(0)).unwrap();
+        assert_eq!(f.mapping.size, PageSize::Size4K);
+        assert_eq!(s.stats().faults_4k, 1);
+    }
+
+    #[test]
+    fn fault_outside_region_fails() {
+        let mut s = space();
+        s.map_region(BASE, 4 << 20).unwrap();
+        assert_eq!(
+            s.fault(VirtAddr(0x1000), NodeId(0)).unwrap_err(),
+            SpaceError::NoRegion
+        );
+    }
+
+    #[test]
+    fn double_fault_fails() {
+        let mut s = space();
+        s.map_region(BASE, 4 << 20).unwrap();
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        assert_eq!(
+            s.fault(VirtAddr(BASE + 0x100), NodeId(0)).unwrap_err(),
+            SpaceError::AlreadyMapped
+        );
+    }
+
+    #[test]
+    fn huge_page_not_used_when_region_too_small() {
+        let mut s = space();
+        s.map_region(BASE, PAGE_2M / 2).unwrap();
+        let f = s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        assert_eq!(f.mapping.size, PageSize::Size4K);
+    }
+
+    #[test]
+    fn giant_pages_when_enabled() {
+        let machine = MachineSpec::test_machine(); // 1 GiB per node
+        let config = VmemConfig {
+            thp: ThpControls::giant(),
+            ..VmemConfig::default()
+        };
+        let mut s = AddressSpace::new(&machine, config);
+        s.map_region(BASE, PAGE_1G).unwrap();
+        // Node 0 lost a few 4 KiB frames to the page table, so a full
+        // 1 GiB frame only exists on node 1.
+        let f = s.fault(VirtAddr(BASE + 123), NodeId(1)).unwrap();
+        assert_eq!(f.mapping.size, PageSize::Size1G);
+        assert_eq!(s.stats().faults_1g, 1);
+    }
+
+    #[test]
+    fn giant_falls_back_to_huge_when_no_giant_frame() {
+        let machine = MachineSpec::test_machine();
+        let config = VmemConfig {
+            thp: ThpControls::giant(),
+            ..VmemConfig::default()
+        };
+        let mut s = AddressSpace::new(&machine, config);
+        s.map_region(BASE, PAGE_1G).unwrap();
+        // Node 0's range is fragmented by the root table frame.
+        let f = s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        assert_eq!(f.mapping.size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn first_touch_places_locally() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 64 << 20).unwrap();
+        let f0 = s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        let f1 = s.fault(VirtAddr(BASE + PAGE_4K), NodeId(1)).unwrap();
+        assert_eq!(f0.mapping.node, NodeId(0));
+        assert_eq!(f1.mapping.node, NodeId(1));
+    }
+
+    #[test]
+    fn migrate_moves_page_and_counts() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        let (old, cost) = s.migrate(VirtAddr(BASE + 5), NodeId(1)).unwrap();
+        assert_eq!(old.node, NodeId(0));
+        assert!(cost > 0);
+        let m = s.translate(VirtAddr(BASE)).unwrap();
+        assert_eq!(m.node, NodeId(1));
+        assert_eq!(s.stats().migrations_4k, 1);
+        assert_eq!(s.stats().bytes_copied, PAGE_4K);
+    }
+
+    #[test]
+    fn migrate_to_same_node_is_free() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        let (_, cost) = s.migrate(VirtAddr(BASE), NodeId(0)).unwrap();
+        assert_eq!(cost, 0);
+        assert_eq!(s.stats().migrations_4k, 0);
+    }
+
+    #[test]
+    fn split_then_migrate_subpage() {
+        let mut s = space();
+        s.map_region(BASE, 64 << 20).unwrap();
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        let (old, _) = s.split(VirtAddr(BASE + 0x3000)).unwrap();
+        assert_eq!(old.size, PageSize::Size2M);
+        assert_eq!(s.stats().splits, 1);
+        // Now one 4 KiB corner can move on its own.
+        s.migrate(VirtAddr(BASE + 0x3000), NodeId(1)).unwrap();
+        assert_eq!(
+            s.translate(VirtAddr(BASE + 0x3000)).unwrap().node,
+            NodeId(1)
+        );
+        assert_eq!(s.translate(VirtAddr(BASE)).unwrap().node, NodeId(0));
+    }
+
+    #[test]
+    fn promotion_scan_collapses_full_runs() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        for i in 0..512u64 {
+            s.fault(VirtAddr(BASE + i * PAGE_4K), NodeId(1)).unwrap();
+        }
+        s.thp_mut().promote_2m = true;
+        let (collapsed, cycles) = s.promotion_scan(16);
+        assert_eq!(collapsed, vec![VirtAddr(BASE)]);
+        assert!(cycles > 0);
+        let m = s.translate(VirtAddr(BASE + 0x5000)).unwrap();
+        assert_eq!(m.size, PageSize::Size2M);
+        assert_eq!(m.node, NodeId(1), "majority node wins");
+    }
+
+    #[test]
+    fn promotion_scan_skips_partial_runs() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        for i in 0..100u64 {
+            s.fault(VirtAddr(BASE + i * PAGE_4K), NodeId(0)).unwrap();
+        }
+        s.thp_mut().promote_2m = true;
+        let (collapsed, _) = s.promotion_scan(16);
+        assert!(collapsed.is_empty());
+    }
+
+    #[test]
+    fn promotion_disabled_is_a_noop() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        for i in 0..512u64 {
+            s.fault(VirtAddr(BASE + i * PAGE_4K), NodeId(0)).unwrap();
+        }
+        let (collapsed, cycles) = s.promotion_scan(16);
+        assert!(collapsed.is_empty());
+        assert_eq!(cycles, 0);
+    }
+
+    #[test]
+    fn regions_must_not_overlap() {
+        let mut s = space();
+        s.map_region(BASE, 1 << 30).unwrap();
+        assert_eq!(s.map_region(BASE, 4096).unwrap_err(), SpaceError::BadRegion);
+        assert_eq!(
+            s.map_region(BASE + (1 << 30), 0).unwrap_err(),
+            SpaceError::BadRegion
+        );
+        s.map_region(BASE + (1 << 30), 4096).unwrap();
+    }
+
+    #[test]
+    fn majority_node_prefers_most_frequent() {
+        let nodes = [NodeId(1), NodeId(0), NodeId(1)];
+        assert_eq!(majority_node(&nodes), NodeId(1));
+        // Ties go to the lowest id.
+        let tie = [NodeId(1), NodeId(0)];
+        assert_eq!(majority_node(&tie), NodeId(0));
+    }
+}

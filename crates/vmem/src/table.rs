@@ -1,0 +1,741 @@
+//! x86-64-style 4-level page table with physically-addressed walk steps.
+//!
+//! The table is a radix tree: PML4 → PDPT → PD → PT. Leaves can sit at three
+//! levels, giving the three page sizes (1 GiB at the PDPT, 2 MiB at the PD,
+//! 4 KiB at the PT). Every table node occupies a real simulated physical
+//! frame, so a hardware walk is a sequence of physical reads — [`WalkResult`]
+//! reports their addresses and the simulator runs them through the cache
+//! hierarchy. This is how "% of L2 misses caused by page table walks", the
+//! paper's TLB-pressure metric, is produced rather than assumed.
+
+use crate::addr::{PhysAddr, VirtAddr, PAGE_1G, PAGE_2M, PAGE_4K};
+use crate::frame::{FrameAllocator, FrameError};
+use numa_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Hardware page sizes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum PageSize {
+    /// A base 4 KiB page.
+    Size4K,
+    /// A large 2 MiB page (the THP size).
+    Size2M,
+    /// A very large 1 GiB page (Section 4.4 of the paper).
+    Size1G,
+}
+
+impl PageSize {
+    /// Page size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Size4K => PAGE_4K,
+            PageSize::Size2M => PAGE_2M,
+            PageSize::Size1G => PAGE_1G,
+        }
+    }
+
+    /// Buddy-allocator order of a frame of this size.
+    #[inline]
+    pub fn order(self) -> u32 {
+        match self {
+            PageSize::Size4K => 0,
+            PageSize::Size2M => 9,
+            PageSize::Size1G => 18,
+        }
+    }
+
+    /// Number of page-table references a hardware walk performs for this
+    /// size: 4 for 4 KiB, 3 for 2 MiB, 2 for 1 GiB.
+    #[inline]
+    pub fn walk_levels(self) -> usize {
+        match self {
+            PageSize::Size4K => 4,
+            PageSize::Size2M => 3,
+            PageSize::Size1G => 2,
+        }
+    }
+
+    /// The next smaller size, if any.
+    #[inline]
+    pub fn smaller(self) -> Option<PageSize> {
+        match self {
+            PageSize::Size4K => None,
+            PageSize::Size2M => Some(PageSize::Size4K),
+            PageSize::Size1G => Some(PageSize::Size2M),
+        }
+    }
+
+    /// Number of next-smaller pages that tile one page of this size (512),
+    /// or 1 for the smallest size.
+    #[inline]
+    pub fn fanout(self) -> u64 {
+        if self.smaller().is_some() {
+            512
+        } else {
+            1
+        }
+    }
+}
+
+impl std::fmt::Display for PageSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageSize::Size4K => write!(f, "4K"),
+            PageSize::Size2M => write!(f, "2M"),
+            PageSize::Size1G => write!(f, "1G"),
+        }
+    }
+}
+
+/// A leaf translation: one mapped page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Virtual base of the page (aligned to `size`).
+    pub vbase: VirtAddr,
+    /// Physical frame backing the page (aligned to `size`).
+    pub frame: PhysAddr,
+    /// NUMA node hosting the frame.
+    pub node: NodeId,
+    /// Page size.
+    pub size: PageSize,
+}
+
+impl Mapping {
+    /// Translates an address inside this page to its physical address.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `vaddr` is outside the page.
+    #[inline]
+    pub fn translate(&self, vaddr: VirtAddr) -> PhysAddr {
+        debug_assert!(self.contains(vaddr));
+        PhysAddr(self.frame.0 + vaddr.offset_in(self.size.bytes()))
+    }
+
+    /// Whether `vaddr` falls inside this page.
+    #[inline]
+    pub fn contains(&self, vaddr: VirtAddr) -> bool {
+        vaddr.align_down(self.size.bytes()) == self.vbase
+    }
+}
+
+/// One reference performed by a hardware page-table walk.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WalkStep {
+    /// Physical address of the page-table entry read at this level.
+    pub pte_addr: PhysAddr,
+    /// NUMA node hosting the table frame.
+    pub node: NodeId,
+}
+
+/// The result of walking the table for one virtual address.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkResult {
+    steps: [WalkStep; 4],
+    len: usize,
+    /// The translation found, or `None` (page fault).
+    pub mapping: Option<Mapping>,
+}
+
+impl WalkResult {
+    /// The physical references the walk performed, outermost level first.
+    #[inline]
+    pub fn steps(&self) -> &[WalkStep] {
+        &self.steps[..self.len]
+    }
+}
+
+/// Errors from page-table structural operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TableError {
+    /// The address is already mapped (at any level covering it).
+    AlreadyMapped,
+    /// Expected a leaf of a particular size and found something else.
+    NotMappedAsExpected,
+    /// A frame allocation for an intermediate table failed.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::AlreadyMapped => write!(f, "address already mapped"),
+            TableError::NotMappedAsExpected => write!(f, "mapping not in the expected state"),
+            TableError::Frame(e) => write!(f, "table frame allocation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<FrameError> for TableError {
+    fn from(e: FrameError) -> Self {
+        TableError::Frame(e)
+    }
+}
+
+/// What a successful [`PageTable::collapse`] releases back to the caller.
+#[derive(Clone, Debug)]
+pub struct CollapseOutcome {
+    /// The 512 small mappings that were replaced; their frames are dead.
+    pub old_children: Vec<Mapping>,
+    /// The 4 KiB frame of the retired page-table node.
+    pub table_frame: PhysAddr,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Entry {
+    Table(u32),
+    Leaf(Mapping),
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct TableNode {
+    base: PhysAddr,
+    node: NodeId,
+    entries: BTreeMap<u16, Entry>,
+}
+
+/// A 4-level page table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PageTable {
+    arena: Vec<TableNode>,
+    /// 4 KiB frames consumed by table nodes (a paper motivation: page-table
+    /// memory itself).
+    table_bytes: u64,
+}
+
+/// Index of the root (PML4) node in the arena.
+const ROOT: u32 = 0;
+
+/// Virtual-address bit ranges per level, outermost first.
+const LEVEL_SHIFTS: [u32; 4] = [39, 30, 21, 12];
+
+fn level_index(vaddr: VirtAddr, level: usize) -> u16 {
+    ((vaddr.0 >> LEVEL_SHIFTS[level]) & 0x1ff) as u16
+}
+
+/// The level at which a leaf of `size` lives (index into `LEVEL_SHIFTS`).
+fn leaf_level(size: PageSize) -> usize {
+    match size {
+        PageSize::Size1G => 1,
+        PageSize::Size2M => 2,
+        PageSize::Size4K => 3,
+    }
+}
+
+impl PageTable {
+    /// Creates an empty table whose root node lives on `root_node`.
+    ///
+    /// The root frame is taken from `frames`.
+    pub fn new(frames: &mut FrameAllocator, root_node: NodeId) -> Result<Self, TableError> {
+        let base = frames.alloc(root_node, PageSize::Size4K)?;
+        Ok(PageTable {
+            arena: vec![TableNode {
+                base,
+                node: root_node,
+                entries: BTreeMap::new(),
+            }],
+            table_bytes: PAGE_4K,
+        })
+    }
+
+    /// Bytes of physical memory consumed by page-table nodes.
+    #[inline]
+    pub fn table_bytes(&self) -> u64 {
+        self.table_bytes
+    }
+
+    /// Fast-path translation without recording walk steps.
+    pub fn translate(&self, vaddr: VirtAddr) -> Option<Mapping> {
+        let mut node = ROOT;
+        for level in 0..4 {
+            let idx = level_index(vaddr, level);
+            match self.arena[node as usize].entries.get(&idx) {
+                Some(Entry::Table(next)) => node = *next,
+                Some(Entry::Leaf(m)) => return Some(*m),
+                None => return None,
+            }
+        }
+        None
+    }
+
+    /// Simulates a hardware walk: records the physical PTE reference at each
+    /// level traversed and returns the translation if one exists.
+    pub fn walk(&self, vaddr: VirtAddr) -> WalkResult {
+        let mut steps = [WalkStep {
+            pte_addr: PhysAddr(0),
+            node: NodeId(0),
+        }; 4];
+        let mut len = 0;
+        let mut node = ROOT;
+        for level in 0..4 {
+            let idx = level_index(vaddr, level);
+            let table = &self.arena[node as usize];
+            steps[len] = WalkStep {
+                pte_addr: PhysAddr(table.base.0 + u64::from(idx) * 8),
+                node: table.node,
+            };
+            len += 1;
+            match table.entries.get(&idx) {
+                Some(Entry::Table(next)) => node = *next,
+                Some(Entry::Leaf(m)) => {
+                    return WalkResult {
+                        steps,
+                        len,
+                        mapping: Some(*m),
+                    }
+                }
+                None => break,
+            }
+        }
+        WalkResult {
+            steps,
+            len,
+            mapping: None,
+        }
+    }
+
+    /// Ensures intermediate tables exist down to the level holding leaves of
+    /// `size`, returning the arena index of that table node.
+    fn ensure_path(
+        &mut self,
+        vaddr: VirtAddr,
+        size: PageSize,
+        frames: &mut FrameAllocator,
+        pref_node: NodeId,
+    ) -> Result<u32, TableError> {
+        let target_level = leaf_level(size);
+        let mut node = ROOT;
+        for level in 0..target_level {
+            let idx = level_index(vaddr, level);
+            let next = match self.arena[node as usize].entries.get(&idx) {
+                Some(Entry::Table(next)) => *next,
+                Some(Entry::Leaf(_)) => return Err(TableError::AlreadyMapped),
+                None => {
+                    let (base, got_node) = frames
+                        .alloc_fallback(pref_node, PageSize::Size4K)
+                        .map_err(TableError::Frame)?;
+                    let new_idx = self.arena.len() as u32;
+                    self.arena.push(TableNode {
+                        base,
+                        node: got_node,
+                        entries: BTreeMap::new(),
+                    });
+                    self.table_bytes += PAGE_4K;
+                    self.arena[node as usize]
+                        .entries
+                        .insert(idx, Entry::Table(new_idx));
+                    new_idx
+                }
+            };
+            node = next;
+        }
+        Ok(node)
+    }
+
+    /// Installs a leaf mapping.
+    ///
+    /// Intermediate table frames are allocated near `pref_node` (the faulting
+    /// node — Linux allocates page tables on the faulting node too).
+    pub fn map(
+        &mut self,
+        mapping: Mapping,
+        frames: &mut FrameAllocator,
+        pref_node: NodeId,
+    ) -> Result<(), TableError> {
+        debug_assert!(mapping.vbase.is_aligned(mapping.size.bytes()));
+        debug_assert!(mapping.frame.is_aligned(mapping.size.bytes()));
+        let table = self.ensure_path(mapping.vbase, mapping.size, frames, pref_node)?;
+        let idx = level_index(mapping.vbase, leaf_level(mapping.size));
+        match self.arena[table as usize].entries.get(&idx) {
+            Some(_) => Err(TableError::AlreadyMapped),
+            None => {
+                self.arena[table as usize]
+                    .entries
+                    .insert(idx, Entry::Leaf(mapping));
+                Ok(())
+            }
+        }
+    }
+
+    /// Finds the leaf covering `vaddr` and rewrites its frame and node
+    /// (used by page migration — the virtual page stays put, the physical
+    /// frame moves).
+    pub fn remap(
+        &mut self,
+        vaddr: VirtAddr,
+        new_frame: PhysAddr,
+        new_node: NodeId,
+    ) -> Result<Mapping, TableError> {
+        let mut node = ROOT;
+        for level in 0..4 {
+            let idx = level_index(vaddr, level);
+            match self.arena[node as usize].entries.get_mut(&idx) {
+                Some(Entry::Table(next)) => node = *next,
+                Some(Entry::Leaf(m)) => {
+                    let old = *m;
+                    m.frame = new_frame;
+                    m.node = new_node;
+                    return Ok(old);
+                }
+                None => break,
+            }
+        }
+        Err(TableError::NotMappedAsExpected)
+    }
+
+    /// Splits the large or giant leaf covering `vaddr` into 512 leaves of the
+    /// next smaller size, backed by the *same* physical range (no copy, as in
+    /// Linux's THP split). Returns the mapping that was split.
+    pub fn split(
+        &mut self,
+        vaddr: VirtAddr,
+        frames: &mut FrameAllocator,
+    ) -> Result<Mapping, TableError> {
+        // Locate the parent table and index of the leaf.
+        let mut node = ROOT;
+        for level in 0..4 {
+            let idx = level_index(vaddr, level);
+            let entry = self.arena[node as usize].entries.get(&idx);
+            match entry {
+                Some(Entry::Table(next)) => node = *next,
+                Some(Entry::Leaf(m)) => {
+                    let m = *m;
+                    let small = m.size.smaller().ok_or(TableError::NotMappedAsExpected)?;
+                    // New table node for the 512 smaller entries; placed on
+                    // the node that hosts the data, like Linux's split path.
+                    let (base, got_node) = frames
+                        .alloc_fallback(m.node, PageSize::Size4K)
+                        .map_err(TableError::Frame)?;
+                    let new_idx = self.arena.len() as u32;
+                    let mut entries = BTreeMap::new();
+                    for i in 0..512u64 {
+                        let child = Mapping {
+                            vbase: VirtAddr(m.vbase.0 + i * small.bytes()),
+                            frame: PhysAddr(m.frame.0 + i * small.bytes()),
+                            node: m.node,
+                            size: small,
+                        };
+                        entries.insert(i as u16, Entry::Leaf(child));
+                    }
+                    self.arena.push(TableNode {
+                        base,
+                        node: got_node,
+                        entries,
+                    });
+                    self.table_bytes += PAGE_4K;
+                    self.arena[node as usize]
+                        .entries
+                        .insert(idx, Entry::Table(new_idx));
+                    return Ok(m);
+                }
+                None => break,
+            }
+        }
+        Err(TableError::NotMappedAsExpected)
+    }
+
+    /// Collapses 512 fully-populated smaller leaves under the naturally
+    /// aligned page at `vbase` into one leaf of `size`, backed by
+    /// `new_frame` on `new_node` (khugepaged copies into a fresh huge frame).
+    ///
+    /// Returns the old child mappings and the retired table frame so the
+    /// caller can free them.
+    pub fn collapse(
+        &mut self,
+        vbase: VirtAddr,
+        size: PageSize,
+        new_frame: PhysAddr,
+        new_node: NodeId,
+    ) -> Result<CollapseOutcome, TableError> {
+        debug_assert!(vbase.is_aligned(size.bytes()));
+        let small = size.smaller().ok_or(TableError::NotMappedAsExpected)?;
+        let target_level = leaf_level(size);
+        // Find the table entry at the target level.
+        let mut node = ROOT;
+        for level in 0..target_level {
+            let idx = level_index(vbase, level);
+            match self.arena[node as usize].entries.get(&idx) {
+                Some(Entry::Table(next)) => node = *next,
+                _ => return Err(TableError::NotMappedAsExpected),
+            }
+        }
+        let idx = level_index(vbase, target_level);
+        let child_table = match self.arena[node as usize].entries.get(&idx) {
+            Some(Entry::Table(t)) => *t,
+            _ => return Err(TableError::NotMappedAsExpected),
+        };
+        // All 512 children must be leaves of the smaller size.
+        let child = &self.arena[child_table as usize];
+        if child.entries.len() != 512 {
+            return Err(TableError::NotMappedAsExpected);
+        }
+        let mut old = Vec::with_capacity(512);
+        for e in child.entries.values() {
+            match e {
+                Entry::Leaf(m) if m.size == small => old.push(*m),
+                _ => return Err(TableError::NotMappedAsExpected),
+            }
+        }
+        // Replace the table entry with the new huge leaf. The child table
+        // node's frame is abandoned (arena slot stays; its frame is freed).
+        let child_base = self.arena[child_table as usize].base;
+        self.arena[node as usize].entries.insert(
+            idx,
+            Entry::Leaf(Mapping {
+                vbase,
+                frame: new_frame,
+                node: new_node,
+                size,
+            }),
+        );
+        self.table_bytes -= PAGE_4K;
+        Ok(CollapseOutcome {
+            old_children: old,
+            table_frame: child_base,
+        })
+    }
+
+    /// Visits every leaf mapping in virtual-address order.
+    pub fn for_each_leaf(&self, mut f: impl FnMut(&Mapping)) {
+        // Iterative DFS, order preserved by BTreeMap iteration.
+        fn rec(arena: &[TableNode], node: u32, f: &mut impl FnMut(&Mapping)) {
+            for e in arena[node as usize].entries.values() {
+                match e {
+                    Entry::Table(next) => rec(arena, *next, f),
+                    Entry::Leaf(m) => f(m),
+                }
+            }
+        }
+        rec(&self.arena, ROOT, &mut f);
+    }
+
+    /// Collects every leaf mapping in virtual-address order.
+    pub fn leaves(&self) -> Vec<Mapping> {
+        let mut v = Vec::new();
+        self.for_each_leaf(|m| v.push(*m));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::MachineSpec;
+
+    fn setup() -> (FrameAllocator, PageTable) {
+        // 4 GiB per node so 1 GiB blocks survive the small allocations that
+        // page-table nodes consume.
+        let machine = MachineSpec::homogeneous(
+            "table-test",
+            2.0,
+            2,
+            2,
+            4 << 30,
+            numa_topology::Interconnect::full_mesh(2),
+        );
+        let mut frames = FrameAllocator::new(&machine);
+        let table = PageTable::new(&mut frames, NodeId(0)).unwrap();
+        (frames, table)
+    }
+
+    fn map4k(t: &mut PageTable, f: &mut FrameAllocator, vaddr: u64, node: NodeId) -> Mapping {
+        let frame = f.alloc(node, PageSize::Size4K).unwrap();
+        let m = Mapping {
+            vbase: VirtAddr(vaddr),
+            frame,
+            node,
+            size: PageSize::Size4K,
+        };
+        t.map(m, f, node).unwrap();
+        m
+    }
+
+    #[test]
+    fn translate_after_map() {
+        let (mut f, mut t) = setup();
+        let m = map4k(&mut t, &mut f, 0x7000_1000, NodeId(0));
+        let got = t.translate(VirtAddr(0x7000_1234)).unwrap();
+        assert_eq!(got, m);
+        assert_eq!(
+            got.translate(VirtAddr(0x7000_1234)),
+            PhysAddr(m.frame.0 + 0x234)
+        );
+        assert!(t.translate(VirtAddr(0x7000_2000)).is_none());
+    }
+
+    #[test]
+    fn walk_counts_levels_per_size() {
+        let (mut f, mut t) = setup();
+        map4k(&mut t, &mut f, 0x10_0000_0000, NodeId(0));
+        let w = t.walk(VirtAddr(0x10_0000_0042));
+        assert_eq!(w.steps().len(), 4);
+        assert!(w.mapping.is_some());
+
+        let frame = f.alloc(NodeId(1), PageSize::Size2M).unwrap();
+        t.map(
+            Mapping {
+                vbase: VirtAddr(0x20_0000_0000),
+                frame,
+                node: NodeId(1),
+                size: PageSize::Size2M,
+            },
+            &mut f,
+            NodeId(1),
+        )
+        .unwrap();
+        let w = t.walk(VirtAddr(0x20_0000_1234));
+        assert_eq!(w.steps().len(), 3);
+
+        let frame = f.alloc(NodeId(0), PageSize::Size1G).unwrap();
+        t.map(
+            Mapping {
+                vbase: VirtAddr(0x40_0000_0000),
+                frame,
+                node: NodeId(0),
+                size: PageSize::Size1G,
+            },
+            &mut f,
+            NodeId(0),
+        )
+        .unwrap();
+        let w = t.walk(VirtAddr(0x40_3fff_ffff));
+        assert_eq!(w.steps().len(), 2);
+    }
+
+    #[test]
+    fn walk_of_unmapped_address_reports_fault() {
+        let (_, t) = setup();
+        let w = t.walk(VirtAddr(0x123_4567));
+        assert!(w.mapping.is_none());
+        assert_eq!(w.steps().len(), 1); // stopped at the empty root entry
+    }
+
+    #[test]
+    fn double_map_fails() {
+        let (mut f, mut t) = setup();
+        let m = map4k(&mut t, &mut f, 0x5000, NodeId(0));
+        let err = t.map(m, &mut f, NodeId(0)).unwrap_err();
+        assert_eq!(err, TableError::AlreadyMapped);
+    }
+
+    #[test]
+    fn split_preserves_translations() {
+        let (mut f, mut t) = setup();
+        let frame = f.alloc(NodeId(1), PageSize::Size2M).unwrap();
+        t.map(
+            Mapping {
+                vbase: VirtAddr(0x8000_0000),
+                frame,
+                node: NodeId(1),
+                size: PageSize::Size2M,
+            },
+            &mut f,
+            NodeId(1),
+        )
+        .unwrap();
+        let before = t.translate(VirtAddr(0x8000_1234)).unwrap();
+        let split = t.split(VirtAddr(0x8000_0000), &mut f).unwrap();
+        assert_eq!(split.size, PageSize::Size2M);
+        let after = t.translate(VirtAddr(0x8000_1234)).unwrap();
+        assert_eq!(after.size, PageSize::Size4K);
+        // Same physical bytes before and after the split.
+        assert_eq!(
+            before.translate(VirtAddr(0x8000_1234)),
+            after.translate(VirtAddr(0x8000_1234))
+        );
+        // Walks now traverse 4 levels.
+        assert_eq!(t.walk(VirtAddr(0x8000_1234)).steps().len(), 4);
+    }
+
+    #[test]
+    fn split_4k_fails() {
+        let (mut f, mut t) = setup();
+        map4k(&mut t, &mut f, 0x9000, NodeId(0));
+        assert_eq!(
+            t.split(VirtAddr(0x9000), &mut f).unwrap_err(),
+            TableError::NotMappedAsExpected
+        );
+    }
+
+    #[test]
+    fn remap_moves_frame() {
+        let (mut f, mut t) = setup();
+        map4k(&mut t, &mut f, 0xa000, NodeId(0));
+        let new_frame = f.alloc(NodeId(1), PageSize::Size4K).unwrap();
+        let old = t.remap(VirtAddr(0xa123), new_frame, NodeId(1)).unwrap();
+        assert_eq!(old.node, NodeId(0));
+        let m = t.translate(VirtAddr(0xa000)).unwrap();
+        assert_eq!(m.node, NodeId(1));
+        assert_eq!(m.frame, new_frame);
+    }
+
+    #[test]
+    fn collapse_requires_full_population() {
+        let (mut f, mut t) = setup();
+        // Map only 10 of the 512 children.
+        for i in 0..10u64 {
+            map4k(&mut t, &mut f, 0x4000_0000 + i * PAGE_4K, NodeId(0));
+        }
+        let frame = f.alloc(NodeId(0), PageSize::Size2M).unwrap();
+        let err = t
+            .collapse(VirtAddr(0x4000_0000), PageSize::Size2M, frame, NodeId(0))
+            .unwrap_err();
+        assert_eq!(err, TableError::NotMappedAsExpected);
+    }
+
+    #[test]
+    fn collapse_roundtrip() {
+        let (mut f, mut t) = setup();
+        for i in 0..512u64 {
+            map4k(&mut t, &mut f, 0x4000_0000 + i * PAGE_4K, NodeId(0));
+        }
+        let huge = f.alloc(NodeId(1), PageSize::Size2M).unwrap();
+        let out = t
+            .collapse(VirtAddr(0x4000_0000), PageSize::Size2M, huge, NodeId(1))
+            .unwrap();
+        assert_eq!(out.old_children.len(), 512);
+        let m = t.translate(VirtAddr(0x4000_1000)).unwrap();
+        assert_eq!(m.size, PageSize::Size2M);
+        assert_eq!(m.node, NodeId(1));
+        // Walks are now 3 levels.
+        assert_eq!(t.walk(VirtAddr(0x4000_1000)).steps().len(), 3);
+    }
+
+    #[test]
+    fn leaves_are_sorted_and_complete() {
+        let (mut f, mut t) = setup();
+        for vaddr in [0x3000u64, 0x1000, 0x2000, 0x10_0000_0000] {
+            map4k(&mut t, &mut f, vaddr, NodeId(0));
+        }
+        let leaves = t.leaves();
+        let addrs: Vec<u64> = leaves.iter().map(|m| m.vbase.0).collect();
+        assert_eq!(addrs, vec![0x1000, 0x2000, 0x3000, 0x10_0000_0000]);
+    }
+
+    #[test]
+    fn table_bytes_grow_with_structure() {
+        let (mut f, mut t) = setup();
+        let before = t.table_bytes();
+        map4k(&mut t, &mut f, 0x1000, NodeId(0));
+        // Root existed; three intermediate levels were created.
+        assert_eq!(t.table_bytes(), before + 3 * PAGE_4K);
+        // A nearby page reuses the whole path.
+        map4k(&mut t, &mut f, 0x2000, NodeId(0));
+        assert_eq!(t.table_bytes(), before + 3 * PAGE_4K);
+    }
+
+    #[test]
+    fn page_size_properties() {
+        assert_eq!(PageSize::Size4K.walk_levels(), 4);
+        assert_eq!(PageSize::Size2M.walk_levels(), 3);
+        assert_eq!(PageSize::Size1G.walk_levels(), 2);
+        assert_eq!(PageSize::Size2M.smaller(), Some(PageSize::Size4K));
+        assert_eq!(PageSize::Size1G.fanout(), 512);
+        assert_eq!(PageSize::Size4K.fanout(), 1);
+        assert_eq!(PageSize::Size2M.to_string(), "2M");
+    }
+}

@@ -1,0 +1,398 @@
+//! Per-core translation lookaside buffers.
+//!
+//! Models the Opteron's two-level TLB: small per-size-class L1 arrays backed
+//! by a larger unified L2. Larger pages need fewer entries to cover the same
+//! footprint — the entire mechanism by which large pages help — so the TLB
+//! stores one entry per *page*, whatever its size.
+
+use crate::addr::VirtAddr;
+use crate::table::{Mapping, PageSize};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the two TLB levels.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// L1 entries for 4 KiB pages.
+    pub l1_4k_entries: usize,
+    /// L1 entries for 2 MiB pages.
+    pub l1_2m_entries: usize,
+    /// L1 entries for 1 GiB pages.
+    pub l1_1g_entries: usize,
+    /// Unified L2 entries (all sizes).
+    pub l2_entries: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Extra cycles charged on an L2 TLB hit (L1 hits are free).
+    pub l2_hit_cycles: u32,
+}
+
+impl TlbConfig {
+    /// Opteron-like geometry scaled down by `scale` (1 = full size:
+    /// 48/32/8-entry L1 arrays, 1024-entry 8-way L2).
+    pub fn scaled_default(scale: usize) -> Self {
+        let scale = scale.max(1);
+        let d = |n: usize| (n / scale).max(2);
+        TlbConfig {
+            l1_4k_entries: d(48),
+            l1_2m_entries: d(32),
+            l1_1g_entries: d(8),
+            l2_entries: d(1024),
+            l2_ways: 8,
+            l2_hit_cycles: 7,
+        }
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig::scaled_default(1)
+    }
+}
+
+/// One cached translation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TlbEntry {
+    /// The mapping this entry caches.
+    pub mapping: Mapping,
+}
+
+/// Result of a TLB lookup.
+#[derive(Clone, Copy, Debug)]
+pub enum TlbLookup {
+    /// Hit in the first level: zero added latency.
+    HitL1(Mapping),
+    /// Hit in the unified second level.
+    HitL2(Mapping),
+    /// Miss: a page-table walk is required.
+    Miss,
+}
+
+/// A set-associative translation array with LRU replacement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct SubTlb {
+    sets: Vec<Vec<(u64, Mapping)>>,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl SubTlb {
+    fn new(entries: usize, ways: usize) -> Self {
+        let ways = ways.max(1).min(entries.max(1));
+        let sets = (entries / ways).max(1).next_power_of_two();
+        SubTlb {
+            sets: vec![Vec::new(); sets],
+            ways,
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        // Multiplicative hash: the scaled-down set count would otherwise
+        // alias regularly-strided VPNs far more than a full-size TLB does.
+        ((key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn lookup(&mut self, key: u64) -> Option<Mapping> {
+        let idx = self.set_of(key);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&(k, _)| k == key) {
+            let e = set.remove(pos);
+            let m = e.1;
+            set.insert(0, e);
+            Some(m)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u64, mapping: Mapping) {
+        let idx = self.set_of(key);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&(k, _)| k == key) {
+            set.remove(pos);
+        } else if set.len() >= self.ways {
+            set.pop();
+        }
+        set.insert(0, (key, mapping));
+    }
+
+    fn invalidate(&mut self, key: u64) {
+        let idx = self.set_of(key);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&(k, _)| k == key) {
+            set.remove(pos);
+        }
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// Lifetime TLB statistics.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// L2 hits (L1 misses that the L2 caught).
+    pub l2_hits: u64,
+    /// Full misses (walk required).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio over all lookups; 0 when idle.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.l1_hits + self.l2_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A per-core two-level TLB.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Tlb {
+    l1_4k: SubTlb,
+    l1_2m: SubTlb,
+    l1_1g: SubTlb,
+    l2: SubTlb,
+    stats: TlbStats,
+}
+
+/// Unified-L2 key: VPN disambiguated by size class. The class lives in the
+/// high bits so that consecutive VPNs still map to consecutive sets.
+#[inline]
+fn l2_key(vaddr: VirtAddr, size: PageSize) -> u64 {
+    let class = match size {
+        PageSize::Size4K => 0u64,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    };
+    (vaddr.0 >> size.bytes().trailing_zeros()) | class << 56
+}
+
+#[inline]
+fn vpn(vaddr: VirtAddr, size: PageSize) -> u64 {
+    vaddr.0 >> size.bytes().trailing_zeros()
+}
+
+impl Tlb {
+    /// Creates an empty TLB with the given geometry.
+    pub fn new(config: &TlbConfig) -> Self {
+        Tlb {
+            // L1 arrays are fully associative, as on real hardware.
+            l1_4k: SubTlb::new(config.l1_4k_entries, config.l1_4k_entries),
+            l1_2m: SubTlb::new(config.l1_2m_entries, config.l1_2m_entries),
+            l1_1g: SubTlb::new(config.l1_1g_entries, config.l1_1g_entries),
+            l2: SubTlb::new(config.l2_entries, config.l2_ways),
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up `vaddr`, probing every size class in both levels. An L2 hit
+    /// is promoted into the matching L1 array.
+    pub fn lookup(&mut self, vaddr: VirtAddr) -> TlbLookup {
+        for (sub, size) in [
+            (&mut self.l1_4k, PageSize::Size4K),
+            (&mut self.l1_2m, PageSize::Size2M),
+            (&mut self.l1_1g, PageSize::Size1G),
+        ] {
+            if let Some(m) = sub.lookup(vpn(vaddr, size)) {
+                self.stats.l1_hits += 1;
+                return TlbLookup::HitL1(m);
+            }
+        }
+        for size in [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G] {
+            if let Some(m) = self.l2.lookup(l2_key(vaddr, size)) {
+                self.stats.l2_hits += 1;
+                self.l1_for(size).insert(vpn(vaddr, size), m);
+                return TlbLookup::HitL2(m);
+            }
+        }
+        self.stats.misses += 1;
+        TlbLookup::Miss
+    }
+
+    fn l1_for(&mut self, size: PageSize) -> &mut SubTlb {
+        match size {
+            PageSize::Size4K => &mut self.l1_4k,
+            PageSize::Size2M => &mut self.l1_2m,
+            PageSize::Size1G => &mut self.l1_1g,
+        }
+    }
+
+    /// Installs a translation after a walk (fills both levels).
+    pub fn insert(&mut self, mapping: Mapping) {
+        let v = mapping.vbase;
+        let s = mapping.size;
+        self.l1_for(s).insert(vpn(v, s), mapping);
+        self.l2.insert(l2_key(v, s), mapping);
+    }
+
+    /// Removes any entry translating the page at `vbase` of `size`
+    /// (one core's share of a TLB shootdown).
+    pub fn invalidate(&mut self, vbase: VirtAddr, size: PageSize) {
+        self.l1_for(size).invalidate(vpn(vbase, size));
+        self.l2.invalidate(l2_key(vbase, size));
+    }
+
+    /// Drops every entry (full flush).
+    pub fn flush(&mut self) {
+        self.l1_4k.flush();
+        self.l1_2m.flush();
+        self.l1_1g.flush();
+        self.l2.flush();
+    }
+
+    /// Lifetime statistics.
+    #[inline]
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{PhysAddr, PAGE_2M, PAGE_4K};
+    use numa_topology::NodeId;
+
+    fn map(vbase: u64, size: PageSize) -> Mapping {
+        Mapping {
+            vbase: VirtAddr(vbase),
+            frame: PhysAddr(vbase), // identity is fine for TLB tests
+            node: NodeId(0),
+            size,
+        }
+    }
+
+    fn tiny_config() -> TlbConfig {
+        TlbConfig {
+            l1_4k_entries: 2,
+            l1_2m_entries: 2,
+            l1_1g_entries: 1,
+            l2_entries: 8,
+            l2_ways: 8,
+            l2_hit_cycles: 7,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_after_insert() {
+        let mut t = Tlb::new(&TlbConfig::default());
+        assert!(matches!(t.lookup(VirtAddr(0x1234)), TlbLookup::Miss));
+        t.insert(map(0x1000, PageSize::Size4K));
+        assert!(matches!(t.lookup(VirtAddr(0x1fff)), TlbLookup::HitL1(_)));
+        assert!(matches!(t.lookup(VirtAddr(0x2000)), TlbLookup::Miss));
+    }
+
+    #[test]
+    fn huge_entry_covers_whole_2m() {
+        let mut t = Tlb::new(&TlbConfig::default());
+        t.insert(map(0x20_0000, PageSize::Size2M));
+        for off in [0u64, 0x1000, PAGE_2M - 1] {
+            assert!(
+                matches!(t.lookup(VirtAddr(0x20_0000 + off)), TlbLookup::HitL1(_)),
+                "offset {off:#x}"
+            );
+        }
+        assert!(matches!(t.lookup(VirtAddr(0x40_0000)), TlbLookup::Miss));
+    }
+
+    #[test]
+    fn evicted_l1_entry_survives_in_l2_and_promotes() {
+        let mut t = Tlb::new(&tiny_config());
+        // Fill the 2-entry L1 beyond capacity.
+        t.insert(map(0x1000, PageSize::Size4K));
+        t.insert(map(0x2000, PageSize::Size4K));
+        t.insert(map(0x3000, PageSize::Size4K));
+        // 0x1000 fell out of L1 but is still in the unified L2.
+        assert!(matches!(t.lookup(VirtAddr(0x1000)), TlbLookup::HitL2(_)));
+        // The hit promoted it back to L1.
+        assert!(matches!(t.lookup(VirtAddr(0x1000)), TlbLookup::HitL1(_)));
+    }
+
+    #[test]
+    fn capacity_miss_when_footprint_exceeds_both_levels() {
+        let mut t = Tlb::new(&tiny_config());
+        for i in 0..64u64 {
+            t.insert(map(i * PAGE_4K, PageSize::Size4K));
+        }
+        // Streaming back over the 64-page footprint misses mostly; with
+        // 8 L2 entries the oldest pages must be gone.
+        assert!(matches!(t.lookup(VirtAddr(0)), TlbLookup::Miss));
+    }
+
+    #[test]
+    fn one_2m_entry_replaces_512_4k_entries() {
+        // The TLB-reach effect in one test: a 2 MiB footprint needs 512
+        // small entries (overflowing a small TLB) but a single huge entry.
+        let cfg = tiny_config();
+        let mut small = Tlb::new(&cfg);
+        for i in 0..512u64 {
+            small.insert(map(i * PAGE_4K, PageSize::Size4K));
+        }
+        let misses_before = small.stats().misses;
+        for i in 0..512u64 {
+            let _ = small.lookup(VirtAddr(i * PAGE_4K));
+        }
+        assert!(small.stats().misses > misses_before, "small pages thrash");
+
+        let mut huge = Tlb::new(&cfg);
+        huge.insert(map(0, PageSize::Size2M));
+        for i in 0..512u64 {
+            assert!(matches!(
+                huge.lookup(VirtAddr(i * PAGE_4K)),
+                TlbLookup::HitL1(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_both_levels() {
+        let mut t = Tlb::new(&TlbConfig::default());
+        t.insert(map(0x5000, PageSize::Size4K));
+        t.invalidate(VirtAddr(0x5000), PageSize::Size4K);
+        assert!(matches!(t.lookup(VirtAddr(0x5000)), TlbLookup::Miss));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut t = Tlb::new(&TlbConfig::default());
+        t.insert(map(0x5000, PageSize::Size4K));
+        t.insert(map(0x20_0000, PageSize::Size2M));
+        t.flush();
+        assert!(matches!(t.lookup(VirtAddr(0x5000)), TlbLookup::Miss));
+        assert!(matches!(t.lookup(VirtAddr(0x20_0000)), TlbLookup::Miss));
+    }
+
+    #[test]
+    fn stats_track_outcomes() {
+        let mut t = Tlb::new(&TlbConfig::default());
+        let _ = t.lookup(VirtAddr(0x1000)); // miss
+        t.insert(map(0x1000, PageSize::Size4K));
+        let _ = t.lookup(VirtAddr(0x1000)); // l1 hit
+        let s = t.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert!((s.miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_but_stays_positive() {
+        let c = TlbConfig::scaled_default(64);
+        assert!(c.l1_4k_entries >= 2);
+        assert!(c.l2_entries >= 2);
+        let full = TlbConfig::scaled_default(1);
+        assert_eq!(full.l1_4k_entries, 48);
+        assert_eq!(full.l2_entries, 1024);
+    }
+}

@@ -1,0 +1,104 @@
+//! The hot-page effect, from first principles.
+//!
+//! Builds a minimal CG-like workload: a handful of extremely hot 4 KiB
+//! chunks spaced so that under 4 KiB pages they spread across every node's
+//! first-touchers, while under 2 MiB pages they coalesce into fewer hot
+//! pages than the machine has nodes — which no migration policy can
+//! balance (Section 2 of the paper). Shows Carrefour-2M failing and
+//! Carrefour-LP recovering by splitting the hot pages.
+//!
+//! ```sh
+//! cargo run --release --example hot_page_effect
+//! ```
+
+use carrefour_lp::prelude::*;
+
+fn hot_workload(machine: &MachineSpec) -> WorkloadSpec {
+    let threads = machine.total_cores();
+    WorkloadSpec {
+        name: "hot-pages".into(),
+        threads,
+        regions: vec![
+            // 16 hot 4 KiB chunks, 256 KiB apart: 4 MiB = two 2 MiB pages.
+            RegionSpec {
+                base: 64 << 30,
+                bytes: 4 << 20,
+                share: 0.8,
+                pattern: AccessPattern::Hotspots {
+                    count: 16,
+                    hot_bytes: 4096,
+                    spacing_bytes: 256 * 1024,
+                    hot_share: 0.95,
+                },
+                alloc_skew: 0.0,
+                loader_headers: 0.5, // the loader writes the headers first
+                rw_shared: true,     // the hot data is a shared reduction
+                read_only: false,
+            },
+            // Some private per-thread state so the workload is realistic.
+            RegionSpec {
+                base: 66 << 30,
+                bytes: (threads as u64) << 21,
+                share: 0.2,
+                pattern: AccessPattern::PrivateSlices,
+                alloc_skew: 0.0,
+                loader_headers: 0.0,
+                rw_shared: false,
+                read_only: false,
+            },
+        ],
+        ops_per_round: 1000,
+        compute_rounds: 40,
+        think_cycles_per_op: 5,
+        write_fraction: 0.3,
+        phases: Vec::new(),
+        mlp: 4,
+    }
+}
+
+fn main() {
+    let machine = MachineSpec::machine_b();
+    let spec = hot_workload(&machine);
+
+    let small = SimConfig::for_machine(&machine, ThpControls::small_only());
+    let huge = SimConfig::for_machine(&machine, ThpControls::thp());
+
+    let base = Simulation::run(&machine, &spec, &small, &mut NullPolicy);
+    let thp = Simulation::run(&machine, &spec, &huge, &mut NullPolicy);
+    let c2m = Simulation::run(&machine, &spec, &huge, &mut Carrefour::new());
+    let lp = Simulation::run(&machine, &spec, &huge, &mut CarrefourLp::new());
+
+    println!(
+        "hot-page effect on {} ({} nodes):\n",
+        machine.name(),
+        machine.num_nodes()
+    );
+    println!(
+        "{:<14} {:>9} {:>11} {:>6} {:>7} {:>7}",
+        "system", "vs Linux", "imbalance%", "NHP", "PAMUP%", "splits"
+    );
+    for (label, r) in [
+        ("Linux-4K", &base),
+        ("THP", &thp),
+        ("Carrefour-2M", &c2m),
+        ("Carrefour-LP", &lp),
+    ] {
+        println!(
+            "{:<14} {:>+8.1}% {:>11.1} {:>6} {:>7.1} {:>7}",
+            label,
+            r.improvement_over(&base),
+            r.lifetime.imbalance,
+            r.pages.nhp,
+            r.pages.pamup,
+            r.lifetime.vmem.splits,
+        );
+    }
+
+    println!(
+        "\nUnder 4 KiB pages the 16 hot chunks spread over the nodes; under \
+         2 MiB pages they coalesce into {} hot pages (NHP above). Migration \
+         cannot balance fewer hot pages than nodes — only Carrefour-LP's \
+         splitting restores the balance.",
+        thp.pages.nhp
+    );
+}

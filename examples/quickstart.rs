@@ -1,0 +1,64 @@
+//! Quickstart: run one benchmark under the four main systems and print a
+//! Figure-1-style comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [benchmark-name]
+//! ```
+
+use carrefour_lp::prelude::*;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "CG.D".to_string());
+    let bench = Benchmark::all()
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name}; available:");
+            for b in Benchmark::all() {
+                eprintln!("  {}", b.name());
+            }
+            std::process::exit(1);
+        });
+
+    let machine = MachineSpec::machine_a();
+    let spec = bench.spec(&machine);
+    println!(
+        "{} on {}: {} threads, {} MiB footprint",
+        bench.name(),
+        machine.name(),
+        spec.threads,
+        spec.footprint_bytes() >> 20
+    );
+
+    // Baseline: default Linux with 4 KiB pages.
+    let linux4k = SimConfig::for_machine(&machine, ThpControls::small_only());
+    let base = Simulation::run(&machine, &spec, &linux4k, &mut NullPolicy);
+    println!(
+        "\n{:<14} {:>12} {:>9} {:>7} {:>11}",
+        "system", "runtime(ms)", "vs Linux", "LAR", "imbalance"
+    );
+    let report = |label: &str, r: &SimResult| {
+        println!(
+            "{:<14} {:>12.2} {:>+8.1}% {:>6.0}% {:>10.1}%",
+            label,
+            r.runtime_ms,
+            r.improvement_over(&base),
+            r.lifetime.lar * 100.0,
+            r.lifetime.imbalance
+        );
+    };
+    report("Linux", &base);
+
+    let thp = SimConfig::for_machine(&machine, ThpControls::thp());
+    let r = Simulation::run(&machine, &spec, &thp, &mut NullPolicy);
+    report("THP", &r);
+
+    let r = Simulation::run(&machine, &spec, &thp, &mut Carrefour::new());
+    report("Carrefour-2M", &r);
+
+    let r = Simulation::run(&machine, &spec, &thp, &mut CarrefourLp::new());
+    report("Carrefour-LP", &r);
+}
