@@ -121,11 +121,11 @@ pub fn run_matrix(
             jobs.push((b, p));
         }
     }
-    let results: Vec<Cell> = crossbeam::thread::scope(|s| {
+    let results: Vec<Cell> = std::thread::scope(|s| {
         let handles: Vec<_> = jobs
             .iter()
             .map(|&(b, p)| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let r = run_cell(machine, b, p);
                     Cell {
                         machine: machine.name().to_string(),
@@ -140,8 +140,7 @@ pub fn run_matrix(
             .into_iter()
             .map(|h| h.join().expect("sim panicked"))
             .collect()
-    })
-    .expect("scope");
+    });
     results
 }
 
@@ -174,14 +173,209 @@ pub fn save_json(name: &str, cells: &[Cell]) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(cells) {
-        let _ = std::fs::write(path, json);
-    }
+    let _ = std::fs::write(path, json::cells_to_json(cells));
 }
 
 /// Formats a signed percentage the way the paper's figures label bars.
 pub fn fmt_pct(v: f64) -> String {
     format!("{v:+.1}%")
+}
+
+pub mod json {
+    //! Hand-rolled JSON serialization of experiment rows.
+    //!
+    //! The build environment is offline, so instead of `serde_json` the
+    //! result files are written by this small, explicit serializer. Field
+    //! names match the Rust struct fields, as serde would have emitted.
+
+    use super::Cell;
+    use engine::{EpochRecord, LifetimeStats, PageMetrics, RobustnessStats, SimResult};
+    use profiling::EpochCounters;
+    use vmem::VmemStats;
+
+    /// Escapes a string for a JSON string literal (without quotes).
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Formats a float as a JSON value (`null` for non-finite values).
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            // Rust's shortest-roundtrip Display output is valid JSON for
+            // finite doubles.
+            let s = format!("{v}");
+            if s.contains(['.', 'e', 'E']) {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        } else {
+            "null".to_string()
+        }
+    }
+
+    fn u64s(values: &[u64]) -> String {
+        let inner: Vec<String> = values.iter().map(u64::to_string).collect();
+        format!("[{}]", inner.join(","))
+    }
+
+    fn counters(c: &EpochCounters) -> String {
+        let fault_cycles: Vec<u64> = c.fault_time.iter().map(|f| f.fault_cycles).collect();
+        format!(
+            "{{\"epoch_cycles\":{},\"l2_accesses\":{},\"l2_misses\":{},\
+             \"l2_walk_misses\":{},\"dram_local\":{},\"dram_remote\":{},\
+             \"controller_requests\":{},\"fault_time\":{},\"mem_ops\":{}}}",
+            c.epoch_cycles,
+            c.l2_accesses,
+            c.l2_misses,
+            c.l2_walk_misses,
+            c.dram_local,
+            c.dram_remote,
+            u64s(&c.controller_requests),
+            u64s(&fault_cycles),
+            c.mem_ops,
+        )
+    }
+
+    fn vmem_stats(v: &VmemStats) -> String {
+        format!(
+            "{{\"faults_4k\":{},\"faults_2m\":{},\"faults_1g\":{},\
+             \"migrations_4k\":{},\"migrations_2m\":{},\"splits\":{},\
+             \"collapses\":{},\"replications\":{},\"replica_collapses\":{},\
+             \"bytes_copied\":{}}}",
+            v.faults_4k,
+            v.faults_2m,
+            v.faults_1g,
+            v.migrations_4k,
+            v.migrations_2m,
+            v.splits,
+            v.collapses,
+            v.replications,
+            v.replica_collapses,
+            v.bytes_copied,
+        )
+    }
+
+    fn epoch(e: &EpochRecord) -> String {
+        format!(
+            "{{\"counters\":{},\"migrations\":{},\"splits\":{},\"collapses\":{},\
+             \"overhead_cycles\":{},\"thp_alloc_enabled\":{},\
+             \"thp_promote_enabled\":{},\"failed_actions\":{}}}",
+            counters(&e.counters),
+            e.migrations,
+            e.splits,
+            e.collapses,
+            e.overhead_cycles,
+            e.thp_alloc_enabled,
+            e.thp_promote_enabled,
+            e.failed_actions,
+        )
+    }
+
+    fn robustness(r: &RobustnessStats) -> String {
+        format!(
+            "{{\"failed_migrations\":{},\"failed_splits\":{},\
+             \"failed_replications\":{},\"fallback_allocs\":{},\
+             \"busy_rejections\":{},\"dropped_samples\":{},\
+             \"misattributed_samples\":{},\"retries\":{},\"oom_reclaims\":{}}}",
+            r.failed_migrations,
+            r.failed_splits,
+            r.failed_replications,
+            r.fallback_allocs,
+            r.busy_rejections,
+            r.dropped_samples,
+            r.misattributed_samples,
+            r.retries,
+            r.oom_reclaims,
+        )
+    }
+
+    fn lifetime(l: &LifetimeStats) -> String {
+        format!(
+            "{{\"lar\":{},\"imbalance\":{},\"walk_miss_fraction\":{},\
+             \"tlb_miss_ratio\":{},\"max_fault_cycles\":{},\
+             \"max_fault_fraction\":{},\"total_fault_cycles\":{},\"vmem\":{},\
+             \"overhead_cycles\":{},\"ibs_samples\":{},\"total_ops\":{}}}",
+            num(l.lar),
+            num(l.imbalance),
+            num(l.walk_miss_fraction),
+            num(l.tlb_miss_ratio),
+            l.max_fault_cycles,
+            num(l.max_fault_fraction),
+            l.total_fault_cycles,
+            vmem_stats(&l.vmem),
+            l.overhead_cycles,
+            l.ibs_samples,
+            l.total_ops,
+        )
+    }
+
+    fn pages(p: &PageMetrics) -> String {
+        format!(
+            "{{\"pamup\":{},\"nhp\":{},\"psp\":{},\"pamup_4k\":{},\
+             \"nhp_4k\":{},\"psp_4k\":{}}}",
+            num(p.pamup),
+            p.nhp,
+            num(p.psp),
+            num(p.pamup_4k),
+            p.nhp_4k,
+            num(p.psp_4k),
+        )
+    }
+
+    /// Serializes one full simulation result.
+    pub fn sim_result(r: &SimResult) -> String {
+        let epochs: Vec<String> = r.epochs.iter().map(epoch).collect();
+        format!(
+            "{{\"workload\":\"{}\",\"policy\":\"{}\",\"machine\":\"{}\",\
+             \"runtime_cycles\":{},\"runtime_ms\":{},\"epochs\":[{}],\
+             \"lifetime\":{},\"pages\":{},\"robustness\":{}}}",
+            esc(&r.workload),
+            esc(&r.policy),
+            esc(&r.machine),
+            r.runtime_cycles,
+            num(r.runtime_ms),
+            epochs.join(","),
+            lifetime(&r.lifetime),
+            pages(&r.pages),
+            robustness(&r.robustness),
+        )
+    }
+
+    /// Serializes experiment rows as a pretty-printed JSON array (one row
+    /// per line).
+    pub fn cells_to_json(cells: &[Cell]) -> String {
+        let mut out = String::from("[\n");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str("  {\"machine\":\"");
+            out.push_str(&esc(&c.machine));
+            out.push_str("\",\"benchmark\":\"");
+            out.push_str(&esc(&c.benchmark));
+            out.push_str("\",\"policy\":\"");
+            out.push_str(&esc(&c.policy));
+            out.push_str("\",\"result\":");
+            out.push_str(&sim_result(&c.result));
+            out.push('}');
+            if i + 1 < cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
 }
 
 #[cfg(test)]

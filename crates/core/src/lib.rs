@@ -44,7 +44,9 @@ mod classic;
 mod config;
 pub mod lar;
 mod lp;
+mod robust;
 
 pub use classic::Carrefour;
-pub use config::{CarrefourConfig, LpThresholds};
+pub use config::{CarrefourConfig, LpThresholds, RobustnessConfig};
 pub use lp::CarrefourLp;
+pub use robust::{CircuitBreaker, RetryQueue};

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::FaultConfig;
 use memsys::MemSysConfig;
 use profiling::IbsConfig;
 use serde::{Deserialize, Serialize};
@@ -32,6 +33,12 @@ pub struct SimConfig {
     /// Record exact per-page statistics (Table 2 metrics). Small overhead;
     /// disable for pure-performance benches.
     pub track_page_stats: bool,
+    /// Fault injection. [`FaultConfig::none()`] (the default) is guaranteed
+    /// bit-identical to a build without the fault layer.
+    pub faults: FaultConfig,
+    /// Run the `vmem` invariant walker after every epoch, panicking on the
+    /// first violation. Expensive; for tests and chaos runs only.
+    pub validate_each_epoch: bool,
 }
 
 impl SimConfig {
@@ -54,6 +61,8 @@ impl SimConfig {
             },
             khugepaged_scan_limit: 24,
             track_page_stats: true,
+            faults: FaultConfig::none(),
+            validate_each_epoch: false,
         }
     }
 

@@ -1,0 +1,512 @@
+//! Deterministic fault injection: the simulator's chaos layer.
+//!
+//! A [`FaultPlan`] perturbs a run with the failure modes a real
+//! Carrefour-LP deployment sees:
+//!
+//! * **THP allocation failure** — compaction cannot produce a contiguous
+//!   2 MiB/1 GiB block; the fault falls back to 4 KiB pages
+//!   (`thp_fault_fallback`). Injected through the [`AllocGate`] veto
+//!   point in `vmem`.
+//! * **Migration/split `-EBUSY`** — the target page is transiently pinned
+//!   (DMA, `get_user_pages`); the operation fails and the page stays
+//!   pinned for a configurable number of epochs, so immediate retries
+//!   fail too and backoff pays off.
+//! * **IBS sample loss and misattribution** — NMI skid and overflow drop
+//!   samples or tag them with the wrong accessing node, degrading the
+//!   information every placement decision rests on.
+//! * **Memory pressure** — at a chosen epoch another "process" claims a
+//!   chunk of one node's free frames; allocations that then fail can be
+//!   answered by reclaiming from that reservation (the kernel's reclaim
+//!   path), at the cost of counting an OOM-reclaim event.
+//!
+//! Determinism: the plan owns a seeded [`SmallRng`] and every probability
+//! roll is gated on its rate being positive, so a zero plan draws **no**
+//! random numbers and a run with `FaultConfig::none()` is bit-identical
+//! to one without the fault layer at all (pay-for-what-you-use).
+
+use numa_topology::NodeId;
+use profiling::IbsSample;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vmem::{AddressSpace, AllocGate, PageSize, PhysAddr};
+
+/// Per-class fault probabilities; every rate lives in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability that one huge/giant allocation at fault time fails
+    /// (THP compaction failure; the fault falls back to smaller pages).
+    pub huge_alloc_fail: f64,
+    /// Probability that a migrate/split target page turns out pinned
+    /// (`-EBUSY`), staying pinned for [`FaultRates::pin_epochs`] epochs.
+    pub migrate_busy: f64,
+    /// Epochs a busy page stays pinned once hit.
+    pub pin_epochs: u32,
+    /// Probability that an IBS sample is lost before the daemon sees it.
+    pub sample_loss: f64,
+    /// Probability that a surviving sample reports the wrong accessing
+    /// node (uniformly among the other nodes).
+    pub sample_misattribution: f64,
+}
+
+impl FaultRates {
+    /// All rates zero (no faults).
+    pub fn zero() -> Self {
+        FaultRates {
+            huge_alloc_fail: 0.0,
+            migrate_busy: 0.0,
+            pin_epochs: 2,
+            sample_loss: 0.0,
+            sample_misattribution: 0.0,
+        }
+    }
+
+    /// One-knob sweep over *operational* faults: structural failures
+    /// (allocation, `-EBUSY`) at `rate`, sample loss at half of it.
+    /// Misattribution stays zero — it is a *corruption* fault, a
+    /// different failure class: an operation that fails is visible and
+    /// retryable, a sample that lies is neither. Sweep it separately
+    /// with [`FaultRates::corruption`]. The split is also physical: IBS
+    /// overflow and NMI skid drop samples routinely, but a delivered
+    /// sample carries the sampling core's id, so tagging the wrong node
+    /// needs a rarer confusion (offline core maps, hotplug windows).
+    pub fn uniform(rate: f64) -> Self {
+        FaultRates {
+            huge_alloc_fail: rate,
+            migrate_busy: rate,
+            pin_epochs: 2,
+            sample_loss: rate / 2.0,
+            sample_misattribution: 0.0,
+        }
+    }
+
+    /// Corruption-only setting: delivered samples report the wrong
+    /// accessing node with probability `rate`; nothing else fails.
+    /// Isolates the policy's sensitivity to *wrong* (not missing)
+    /// profiling data.
+    pub fn corruption(rate: f64) -> Self {
+        FaultRates {
+            sample_misattribution: rate,
+            ..FaultRates::zero()
+        }
+    }
+
+    /// Whether every rate is zero.
+    pub fn is_zero(&self) -> bool {
+        self.huge_alloc_fail <= 0.0
+            && self.migrate_busy <= 0.0
+            && self.sample_loss <= 0.0
+            && self.sample_misattribution <= 0.0
+    }
+}
+
+/// Mid-run memory pressure: at `epoch`, `bytes` of `node`'s free memory
+/// vanish into another process's reservation; they return at
+/// `release_epoch` (or never, when `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryPressure {
+    /// Epoch index at which the pressure sets in (0 = before the run).
+    pub epoch: u32,
+    /// The node whose free frames shrink.
+    pub node: NodeId,
+    /// Bytes reserved away.
+    pub bytes: u64,
+    /// Epoch at which the reservation is released again.
+    pub release_epoch: Option<u32>,
+}
+
+/// The full fault-injection configuration of one run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of the plan's own RNG (independent of the workload seed, so
+    /// the same workload can be replayed under different fault draws).
+    pub seed: u64,
+    /// Per-class probabilities.
+    pub rates: FaultRates,
+    /// Optional memory-pressure event.
+    pub pressure: Option<MemoryPressure>,
+}
+
+impl FaultConfig {
+    /// No faults at all; guaranteed bit-identical behaviour to a build
+    /// without the fault layer.
+    pub fn none() -> Self {
+        FaultConfig {
+            seed: 0,
+            rates: FaultRates::zero(),
+            pressure: None,
+        }
+    }
+
+    /// The one-knob operational-fault sweep used by the `chaos`
+    /// experiment.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            rates: FaultRates::uniform(rate),
+            pressure: None,
+        }
+    }
+
+    /// Sample-corruption-only configuration (see
+    /// [`FaultRates::corruption`]).
+    pub fn corruption(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            rates: FaultRates::corruption(rate),
+            pressure: None,
+        }
+    }
+
+    /// Whether this plan can never inject anything.
+    pub fn is_zero(&self) -> bool {
+        self.rates.is_zero() && self.pressure.is_none()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// Counters a plan accumulates over one run (merged into
+/// [`crate::RobustnessStats`] by the engine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Huge allocations vetoed (4 KiB fallbacks forced).
+    pub fallback_allocs: u64,
+    /// Actions rejected because their page was pinned busy.
+    pub busy_rejections: u64,
+    /// IBS samples dropped.
+    pub dropped_samples: u64,
+    /// IBS samples with a falsified accessing node.
+    pub misattributed_samples: u64,
+    /// Allocation failures answered by reclaiming reserved memory.
+    pub oom_reclaims: u64,
+}
+
+/// The live, per-run fault injector built from a [`FaultConfig`].
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: SmallRng,
+    active: bool,
+    /// Pages pinned busy: vbase → first epoch at which they are free again.
+    pins: BTreeMap<u64, u32>,
+    /// Current epoch index (advanced by [`FaultPlan::begin_epoch`]).
+    epoch: u32,
+    /// Frames reserved by the pressure event, reclaimable one by one.
+    reserved: Vec<(PhysAddr, PageSize)>,
+    pressure_applied: bool,
+    /// Counters merged into the run's `RobustnessStats` at the end.
+    pub counters: FaultCounters,
+}
+
+impl FaultPlan {
+    /// Builds the injector for one run.
+    pub fn new(cfg: &FaultConfig) -> Self {
+        FaultPlan {
+            cfg: *cfg,
+            // Fixed xor so a workload seed reused as fault seed still
+            // yields an unrelated stream.
+            rng: SmallRng::seed_from_u64(cfg.seed ^ 0x00FA_017F_A017),
+            active: !cfg.is_zero(),
+            pins: BTreeMap::new(),
+            epoch: 0,
+            reserved: Vec::new(),
+            pressure_applied: false,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Whether this plan can inject anything at all. Inactive plans draw
+    /// no random numbers and never alter behaviour.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Advances the plan to `epoch`: expires pins and applies or releases
+    /// the memory-pressure reservation. Called by the engine before the
+    /// run (epoch 0) and after each epoch boundary.
+    pub fn begin_epoch(&mut self, epoch: u32, space: &mut AddressSpace) {
+        if !self.active {
+            return;
+        }
+        self.epoch = epoch;
+        self.pins.retain(|_, &mut until| until > epoch);
+        if let Some(p) = self.cfg.pressure {
+            if !self.pressure_applied && epoch >= p.epoch {
+                self.pressure_applied = true;
+                self.reserve(space, p.node, p.bytes);
+            }
+            if let Some(release) = p.release_epoch {
+                if self.pressure_applied && epoch >= release {
+                    self.release_all(space);
+                }
+            }
+        }
+    }
+
+    /// Reserves up to `bytes` of `node`'s free memory, huge frames first
+    /// (so the reservation also fragments the node the way a real
+    /// neighbour's allocations would).
+    fn reserve(&mut self, space: &mut AddressSpace, node: NodeId, bytes: u64) {
+        let mut taken: u64 = 0;
+        while taken + PageSize::Size2M.bytes() <= bytes {
+            match space.alloc_frame(node, PageSize::Size2M) {
+                Ok(f) => {
+                    self.reserved.push((f, PageSize::Size2M));
+                    taken += PageSize::Size2M.bytes();
+                }
+                Err(_) => break,
+            }
+        }
+        while taken + PageSize::Size4K.bytes() <= bytes {
+            match space.alloc_frame(node, PageSize::Size4K) {
+                Ok(f) => {
+                    self.reserved.push((f, PageSize::Size4K));
+                    taken += PageSize::Size4K.bytes();
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Returns every reserved frame (pressure lifted).
+    fn release_all(&mut self, space: &mut AddressSpace) {
+        for (frame, size) in self.reserved.drain(..) {
+            space.free_frame(frame, size);
+        }
+    }
+
+    /// Answers an allocation failure by reclaiming one reserved frame
+    /// (the kernel shrinking another process under pressure). Returns
+    /// whether anything could be reclaimed — callers retry on `true`.
+    pub fn reclaim_one(&mut self, space: &mut AddressSpace) -> bool {
+        match self.reserved.pop() {
+            Some((frame, size)) => {
+                space.free_frame(frame, size);
+                self.counters.oom_reclaims += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the page at `vbase` is busy for an operation this epoch:
+    /// either still pinned from an earlier hit, or freshly rolled busy
+    /// (which pins it for `pin_epochs`).
+    pub fn check_busy(&mut self, vbase: u64) -> bool {
+        if !self.active {
+            return false;
+        }
+        if self.pins.contains_key(&vbase) {
+            self.counters.busy_rejections += 1;
+            return true;
+        }
+        if self.cfg.rates.migrate_busy > 0.0 && self.rng.random_bool(self.cfg.rates.migrate_busy) {
+            self.pins
+                .insert(vbase, self.epoch + self.cfg.rates.pin_epochs.max(1));
+            self.counters.busy_rejections += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Applies sample loss and misattribution to one epoch's drained
+    /// samples, in place.
+    pub fn filter_samples(&mut self, samples: &mut Vec<IbsSample>, num_nodes: usize) {
+        if !self.active {
+            return;
+        }
+        let loss = self.cfg.rates.sample_loss;
+        if loss > 0.0 {
+            let before = samples.len();
+            let rng = &mut self.rng;
+            samples.retain(|_| !rng.random_bool(loss));
+            self.counters.dropped_samples += (before - samples.len()) as u64;
+        }
+        let mis = self.cfg.rates.sample_misattribution;
+        if mis > 0.0 && num_nodes > 1 {
+            for s in samples.iter_mut() {
+                if self.rng.random_bool(mis) {
+                    // Uniform among the *other* nodes.
+                    let shift = self.rng.random_range(1..num_nodes as u64);
+                    let node = (u64::from(s.accessing_node.0) + shift) % num_nodes as u64;
+                    s.accessing_node = NodeId(node as u16);
+                    self.counters.misattributed_samples += 1;
+                }
+            }
+        }
+    }
+}
+
+impl AllocGate for FaultPlan {
+    fn allow_huge(&mut self, _size: PageSize) -> bool {
+        if !self.active || self.cfg.rates.huge_alloc_fail <= 0.0 {
+            return true;
+        }
+        if self.rng.random_bool(self.cfg.rates.huge_alloc_fail) {
+            self.counters.fallback_allocs += 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::MachineSpec;
+    use vmem::{VirtAddr, VmemConfig};
+
+    fn sample(node: u16) -> IbsSample {
+        IbsSample {
+            vaddr: VirtAddr(0x1000),
+            accessing_node: NodeId(node),
+            thread: node,
+            home_node: NodeId(0),
+            from_dram: true,
+            is_store: false,
+            page_size: PageSize::Size4K,
+        }
+    }
+
+    #[test]
+    fn zero_plan_is_inert() {
+        let mut plan = FaultPlan::new(&FaultConfig::none());
+        assert!(!plan.is_active());
+        assert!(plan.allow_huge(PageSize::Size2M));
+        assert!(!plan.check_busy(0x20_0000));
+        let mut samples = vec![sample(0); 100];
+        plan.filter_samples(&mut samples, 4);
+        assert_eq!(samples.len(), 100);
+        assert_eq!(plan.counters, FaultCounters::default());
+    }
+
+    #[test]
+    fn uniform_plan_injects_at_roughly_the_rate() {
+        let mut plan = FaultPlan::new(&FaultConfig::uniform(7, 0.3));
+        let mut vetoed = 0;
+        for _ in 0..1000 {
+            if !plan.allow_huge(PageSize::Size2M) {
+                vetoed += 1;
+            }
+        }
+        assert!((200..400).contains(&vetoed), "vetoed {vetoed}");
+        assert_eq!(plan.counters.fallback_allocs, vetoed);
+    }
+
+    #[test]
+    fn corruption_plan_only_misattributes() {
+        let mut plan = FaultPlan::new(&FaultConfig::corruption(5, 0.5));
+        assert!(plan.allow_huge(PageSize::Size2M), "allocs never fail");
+        assert!(!plan.check_busy(0x20_0000), "pages never pin");
+        let mut samples = vec![sample(0); 1000];
+        plan.filter_samples(&mut samples, 4);
+        assert_eq!(samples.len(), 1000, "no samples are lost");
+        assert!(plan.counters.misattributed_samples > 300);
+        assert_eq!(plan.counters.dropped_samples, 0);
+    }
+
+    #[test]
+    fn busy_pages_stay_pinned_for_pin_epochs() {
+        let machine = MachineSpec::test_machine();
+        let mut space = AddressSpace::new(&machine, VmemConfig::default());
+        let mut cfg = FaultConfig::uniform(3, 1.0);
+        cfg.rates.pin_epochs = 2;
+        let mut plan = FaultPlan::new(&cfg);
+        plan.begin_epoch(0, &mut space);
+        assert!(plan.check_busy(0x20_0000), "rate 1.0 always pins");
+        // Pinned through epochs 0 and 1, free again at 2.
+        plan.begin_epoch(1, &mut space);
+        assert!(plan.check_busy(0x20_0000));
+        plan.begin_epoch(2, &mut space);
+        // The pin expired; with rate 1.0 the next roll re-pins, but the
+        // counter separates the expiry from a fresh roll.
+        let before = plan.counters.busy_rejections;
+        assert!(plan.check_busy(0x20_0000));
+        assert_eq!(plan.counters.busy_rejections, before + 1);
+    }
+
+    #[test]
+    fn sample_filtering_drops_and_misattributes() {
+        let mut cfg = FaultConfig::none();
+        cfg.rates.sample_loss = 0.5;
+        cfg.rates.sample_misattribution = 0.5;
+        cfg.seed = 11;
+        let mut plan = FaultPlan::new(&cfg);
+        let mut samples = vec![sample(0); 1000];
+        plan.filter_samples(&mut samples, 4);
+        assert!(samples.len() < 700, "kept {}", samples.len());
+        assert!(plan.counters.dropped_samples > 300);
+        assert!(plan.counters.misattributed_samples > 0);
+        // Misattributed samples never claim their true node.
+        let moved = samples
+            .iter()
+            .filter(|s| s.accessing_node != NodeId(0))
+            .count();
+        assert_eq!(moved as u64, plan.counters.misattributed_samples);
+    }
+
+    #[test]
+    fn pressure_reserves_and_reclaims() {
+        let machine = MachineSpec::test_machine(); // 1 GiB per node
+        let mut space = AddressSpace::new(&machine, VmemConfig::default());
+        let free_before = space.free_bytes(NodeId(1));
+        let mut cfg = FaultConfig::none();
+        cfg.pressure = Some(MemoryPressure {
+            epoch: 1,
+            node: NodeId(1),
+            bytes: 512 << 20,
+            release_epoch: None,
+        });
+        let mut plan = FaultPlan::new(&cfg);
+        assert!(plan.is_active());
+        plan.begin_epoch(0, &mut space);
+        assert_eq!(space.free_bytes(NodeId(1)), free_before);
+        plan.begin_epoch(1, &mut space);
+        assert_eq!(space.free_bytes(NodeId(1)), free_before - (512 << 20));
+        // Reclaim gives frames back one at a time.
+        assert!(plan.reclaim_one(&mut space));
+        assert!(space.free_bytes(NodeId(1)) > free_before - (512 << 20));
+        assert_eq!(plan.counters.oom_reclaims, 1);
+    }
+
+    #[test]
+    fn pressure_release_returns_everything() {
+        let machine = MachineSpec::test_machine();
+        let mut space = AddressSpace::new(&machine, VmemConfig::default());
+        let free_before = space.free_bytes(NodeId(0));
+        let mut cfg = FaultConfig::none();
+        cfg.pressure = Some(MemoryPressure {
+            epoch: 0,
+            node: NodeId(0),
+            bytes: 256 << 20,
+            release_epoch: Some(3),
+        });
+        let mut plan = FaultPlan::new(&cfg);
+        plan.begin_epoch(0, &mut space);
+        assert!(space.free_bytes(NodeId(0)) < free_before);
+        plan.begin_epoch(3, &mut space);
+        assert_eq!(space.free_bytes(NodeId(0)), free_before);
+        space.validate().unwrap();
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let mut a = FaultPlan::new(&FaultConfig::uniform(9, 0.4));
+        let mut b = FaultPlan::new(&FaultConfig::uniform(9, 0.4));
+        for i in 0..200 {
+            assert_eq!(a.check_busy(i * 4096), b.check_busy(i * 4096));
+            assert_eq!(
+                a.allow_huge(PageSize::Size2M),
+                b.allow_huge(PageSize::Size2M)
+            );
+        }
+    }
+}

@@ -34,11 +34,13 @@
 //! ```
 
 mod config;
+mod faults;
 mod policy;
 mod result;
 mod sim;
 
 pub use config::SimConfig;
-pub use policy::{EpochCtx, NullPolicy, NumaPolicy, PolicyAction};
-pub use result::{EpochRecord, LifetimeStats, PageMetrics, SimResult};
+pub use faults::{FaultConfig, FaultCounters, FaultPlan, FaultRates, MemoryPressure};
+pub use policy::{ActionError, EpochCtx, FailedAction, NullPolicy, NumaPolicy, PolicyAction};
+pub use result::{EpochRecord, LifetimeStats, PageMetrics, RobustnessStats, SimResult};
 pub use sim::Simulation;

@@ -24,6 +24,36 @@ pub enum PolicyAction {
     SetThpPromote(bool),
 }
 
+/// Why a policy action failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActionError {
+    /// The target page was pinned busy (`-EBUSY`); retrying after a
+    /// backoff may succeed.
+    Busy,
+    /// A frame allocation failed (`-ENOMEM`); retrying once pressure
+    /// lifts may succeed.
+    NoMemory,
+    /// The action no longer applies (page unmapped, already split,
+    /// wrong size class); retrying is pointless.
+    Gone,
+}
+
+impl ActionError {
+    /// Whether a retry of the failed action can ever succeed.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, ActionError::Gone)
+    }
+}
+
+/// One action that failed, reported back to the policy at the next epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailedAction {
+    /// The action as the policy issued it.
+    pub action: PolicyAction,
+    /// Why it failed.
+    pub error: ActionError,
+}
+
 /// Everything a policy can observe and do at one epoch boundary.
 ///
 /// Mirrors what the paper's kernel module sees: performance counters,
@@ -42,6 +72,13 @@ pub struct EpochCtx<'a> {
     /// Index of the epoch that just closed (0-based).
     pub epoch_index: u32,
     pub(crate) actions: Vec<PolicyAction>,
+    /// Actions from the *previous* epoch that failed (empty unless fault
+    /// injection is active — see the zero-fault identity note on
+    /// [`crate::FaultConfig`]).
+    failed: &'a [FailedAction],
+    /// Retries the policy re-issued this epoch (self-reported via
+    /// [`EpochCtx::record_retries`]).
+    retries: u64,
 }
 
 impl<'a> EpochCtx<'a> {
@@ -61,7 +98,39 @@ impl<'a> EpochCtx<'a> {
             thp,
             epoch_index,
             actions: Vec::new(),
+            failed: &[],
+            retries: 0,
         }
+    }
+
+    /// Attaches the previous epoch's failed actions (the engine calls this
+    /// only when fault injection is active; exposed for policy tests).
+    pub fn set_failures(&mut self, failed: &'a [FailedAction]) {
+        self.failed = failed;
+    }
+
+    /// Actions from the previous epoch that failed, with their errors.
+    /// Empty on a fault-free run.
+    pub fn failed(&self) -> &'a [FailedAction] {
+        self.failed
+    }
+
+    /// Queues an already-constructed action (retry machinery re-issuing a
+    /// failed one verbatim).
+    pub fn push(&mut self, action: PolicyAction) {
+        self.actions.push(action);
+    }
+
+    /// Reports that `n` of the actions queued this epoch are retries of
+    /// earlier failures, for the run's robustness accounting.
+    pub fn record_retries(&mut self, n: u64) {
+        self.retries += n;
+    }
+
+    /// Retries reported this epoch (the engine drains this into
+    /// [`crate::RobustnessStats::retries`]).
+    pub fn retries_recorded(&self) -> u64 {
+        self.retries
     }
 
     /// Requests migration of the page covering `vaddr` to `node`.
@@ -151,6 +220,30 @@ mod tests {
         let taken = ctx.take_actions();
         assert_eq!(taken.len(), 3);
         assert!(ctx.queued().is_empty());
+    }
+
+    #[test]
+    fn failure_feedback_round_trips() {
+        let machine = MachineSpec::test_machine();
+        let counters = EpochCounters::default();
+        let mut ctx = EpochCtx::new(&machine, &counters, &[], ThpControls::thp(), 1);
+        assert!(
+            ctx.failed().is_empty(),
+            "fault-free runs report no failures"
+        );
+        let failed = [FailedAction {
+            action: PolicyAction::Migrate(0x2000, NodeId(1)),
+            error: ActionError::Busy,
+        }];
+        ctx.set_failures(&failed);
+        assert_eq!(ctx.failed().len(), 1);
+        assert!(ctx.failed()[0].error.is_retryable());
+        assert!(!ActionError::Gone.is_retryable());
+        // A retry re-issues the action verbatim and is accounted.
+        ctx.push(ctx.failed()[0].action);
+        ctx.record_retries(1);
+        assert_eq!(ctx.queued(), &[PolicyAction::Migrate(0x2000, NodeId(1))]);
+        assert_eq!(ctx.retries_recorded(), 1);
     }
 
     #[test]

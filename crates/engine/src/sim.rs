@@ -1,12 +1,13 @@
 //! The simulation loop.
 
 use crate::config::SimConfig;
-use crate::policy::{EpochCtx, NumaPolicy, PolicyAction};
-use crate::result::{EpochRecord, LifetimeStats, PageMetrics, SimResult};
+use crate::faults::FaultPlan;
+use crate::policy::{ActionError, EpochCtx, FailedAction, NumaPolicy, PolicyAction};
+use crate::result::{EpochRecord, LifetimeStats, PageMetrics, RobustnessStats, SimResult};
 use memsys::{AccessKind, MemorySystem};
 use numa_topology::{CoreId, MachineSpec, NodeId};
 use profiling::{metrics, CoreFaultTime, EpochCounters, IbsSample, IbsSampler, PageAccessStats};
-use vmem::{AddressSpace, Mapping, PageSize, Tlb, TlbLookup, VirtAddr};
+use vmem::{AddressSpace, Mapping, PageSize, SpaceError, Tlb, TlbLookup, VirtAddr};
 use workloads::{WorkloadGen, WorkloadSpec};
 
 /// Runs complete workloads under a policy and produces [`SimResult`]s.
@@ -40,6 +41,18 @@ struct SimState<'m> {
     /// Extra fault cycles per concurrently-faulting sibling this round.
     fault_contention: u64,
     threads: usize,
+    /// Fault injector (inert unless the config enables it).
+    faults: FaultPlan,
+    /// Failure-and-recovery accounting for the run.
+    robust: RobustnessStats,
+}
+
+/// Maps a vmem error to the action-level error a policy sees.
+fn action_error(e: &SpaceError) -> ActionError {
+    match e {
+        SpaceError::Frame(_) => ActionError::NoMemory,
+        _ => ActionError::Gone,
+    }
 }
 
 impl<'m> SimState<'m> {
@@ -139,10 +152,20 @@ impl<'m> SimState<'m> {
         // Demand fault: allocation plus lock contention from siblings
         // faulting in the same interval. Contention saturates: past ~48
         // waiters the page-table/zone locks queue rather than keep growing.
-        let fault = self
-            .space
-            .fault(vaddr, node)
-            .unwrap_or_else(|e| panic!("fault at {vaddr} failed: {e}"));
+        // The fault plan can veto huge allocations (THP compaction failure)
+        // and, under injected memory pressure, answer a true allocation
+        // failure by reclaiming reserved frames; OOM on a fault-free run is
+        // still a configuration error at our scaled footprints.
+        let fault = loop {
+            match self.space.fault_gated(vaddr, node, &mut self.faults) {
+                Ok(f) => break f,
+                Err(e) => {
+                    if !self.faults.reclaim_one(&mut self.space) {
+                        panic!("fault at {vaddr} failed: {e}");
+                    }
+                }
+            }
+        };
         let contenders = faulting_threads.saturating_sub(1).min(48) as u64;
         let contention = self.fault_contention * contenders;
         let cost = fault.cycles + contention;
@@ -160,7 +183,18 @@ impl<'m> SimState<'m> {
     }
 
     /// Applies policy actions; returns (migrations, splits, cost cycles).
-    fn apply_actions(&mut self, actions: Vec<PolicyAction>) -> (u64, u64, u64) {
+    ///
+    /// Failures — injected busy pins as well as genuine vmem refusals —
+    /// are appended to `failures` and tallied in the run's
+    /// [`RobustnessStats`]. Pre-existing behaviour note: a vmem refusal of
+    /// a stale action (page already split, wrong size class) was always
+    /// silently skipped; it is now *recorded* as failed, which changes
+    /// accounting but not simulation state.
+    fn apply_actions(
+        &mut self,
+        actions: Vec<PolicyAction>,
+        failures: &mut Vec<FailedAction>,
+    ) -> (u64, u64, u64) {
         let mut migrations = 0;
         let mut splits = 0;
         let mut cost: u64 = 0;
@@ -176,52 +210,120 @@ impl<'m> SimState<'m> {
                     }
                 }
                 PolicyAction::Split(v) => {
-                    if let Ok((old, c)) = self.space.split(VirtAddr(v)) {
-                        self.shootdown(old.vbase, old.size);
-                        splits += 1;
-                        cost += c;
+                    if self.faults.check_busy(v) {
+                        self.robust.failed_splits += 1;
+                        failures.push(FailedAction {
+                            action: a,
+                            error: ActionError::Busy,
+                        });
+                        continue;
+                    }
+                    match self.space.split(VirtAddr(v)) {
+                        Ok((old, c)) => {
+                            self.shootdown(old.vbase, old.size);
+                            splits += 1;
+                            cost += c;
+                        }
+                        Err(e) => {
+                            self.robust.failed_splits += 1;
+                            failures.push(FailedAction {
+                                action: a,
+                                error: action_error(&e),
+                            });
+                        }
                     }
                 }
                 PolicyAction::SplitScatter(v) => {
-                    if let Ok((old, c)) = self.space.split(VirtAddr(v)) {
-                        self.shootdown(old.vbase, old.size);
-                        splits += 1;
-                        // One batched demote-and-spread: the split cost plus
-                        // one huge-page-worth of copying, not 512 separate
-                        // migration calls.
-                        cost += c + self.space.costs().copy_per_kib * (old.size.bytes() >> 10);
-                        let nodes = self.machine.num_nodes() as u64;
-                        let children = old.size.fanout();
-                        let small = old.size.smaller().expect("huge page splits");
-                        for i in 0..children {
-                            let sub = VirtAddr(old.vbase.0 + i * small.bytes());
-                            // Deterministic hash spread: independent of any
-                            // stride the data layout might have.
-                            let node = NodeId::from((mix64(sub.0) % nodes) as usize);
-                            if let Ok((sold, _)) = self.space.migrate(sub, node) {
-                                self.shootdown(sold.vbase, sold.size);
-                                migrations += 1;
+                    if self.faults.check_busy(v) {
+                        self.robust.failed_splits += 1;
+                        failures.push(FailedAction {
+                            action: a,
+                            error: ActionError::Busy,
+                        });
+                        continue;
+                    }
+                    match self.space.split(VirtAddr(v)) {
+                        Ok((old, c)) => {
+                            self.shootdown(old.vbase, old.size);
+                            splits += 1;
+                            // One batched demote-and-spread: the split cost
+                            // plus one huge-page-worth of copying, not 512
+                            // separate migration calls.
+                            cost += c + self.space.costs().copy_per_kib * (old.size.bytes() >> 10);
+                            let nodes = self.machine.num_nodes() as u64;
+                            let children = old.size.fanout();
+                            // invariant: split() only succeeds on huge
+                            // mappings, and every huge size has a smaller.
+                            let small = old.size.smaller().expect("huge page splits");
+                            for i in 0..children {
+                                let sub = VirtAddr(old.vbase.0 + i * small.bytes());
+                                // Deterministic hash spread: independent of
+                                // any stride the data layout might have.
+                                let node = NodeId::from((mix64(sub.0) % nodes) as usize);
+                                match self.space.migrate(sub, node) {
+                                    Ok((sold, _)) => {
+                                        self.shootdown(sold.vbase, sold.size);
+                                        migrations += 1;
+                                    }
+                                    // Sub-page moves of a batched scatter are
+                                    // best-effort (the page is already split):
+                                    // counted, but not fed back for retry.
+                                    Err(_) => self.robust.failed_migrations += 1,
+                                }
                             }
+                        }
+                        Err(e) => {
+                            self.robust.failed_splits += 1;
+                            failures.push(FailedAction {
+                                action: a,
+                                error: action_error(&e),
+                            });
                         }
                     }
                 }
                 PolicyAction::Replicate(v) => {
-                    if let Ok(c) = self.space.replicate(VirtAddr(v), self.machine.num_nodes()) {
-                        if c > 0 {
-                            if let Some(m) = self.space.translate(VirtAddr(v)) {
-                                self.shootdown(m.vbase, m.size);
+                    match self.space.replicate(VirtAddr(v), self.machine.num_nodes()) {
+                        Ok(c) => {
+                            if c > 0 {
+                                if let Some(m) = self.space.translate(VirtAddr(v)) {
+                                    self.shootdown(m.vbase, m.size);
+                                }
+                                migrations += 1; // replica copies count as moves
+                                cost += c;
                             }
-                            migrations += 1; // replica copies count as moves
-                            cost += c;
+                        }
+                        Err(e) => {
+                            self.robust.failed_replications += 1;
+                            failures.push(FailedAction {
+                                action: a,
+                                error: action_error(&e),
+                            });
                         }
                     }
                 }
                 PolicyAction::Migrate(v, node) => {
-                    if let Ok((old, c)) = self.space.migrate(VirtAddr(v), node) {
-                        if c > 0 {
-                            self.shootdown(old.vbase, old.size);
-                            migrations += 1;
-                            cost += c;
+                    if self.faults.check_busy(v) {
+                        self.robust.failed_migrations += 1;
+                        failures.push(FailedAction {
+                            action: a,
+                            error: ActionError::Busy,
+                        });
+                        continue;
+                    }
+                    match self.space.migrate(VirtAddr(v), node) {
+                        Ok((old, c)) => {
+                            if c > 0 {
+                                self.shootdown(old.vbase, old.size);
+                                migrations += 1;
+                                cost += c;
+                            }
+                        }
+                        Err(e) => {
+                            self.robust.failed_migrations += 1;
+                            failures.push(FailedAction {
+                                action: a,
+                                error: action_error(&e),
+                            });
                         }
                     }
                 }
@@ -270,6 +372,8 @@ impl Simulation {
         let mut gen = WorkloadGen::new(spec, config.seed);
         let mut space = AddressSpace::new(machine, config.vmem);
         for r in &spec.regions {
+            // Overlapping or unaligned regions are a workload-spec bug, not
+            // a runtime condition: fail loudly before the run starts.
             space
                 .map_region(r.base, r.bytes)
                 .unwrap_or_else(|e| panic!("region setup failed: {e}"));
@@ -291,7 +395,15 @@ impl Simulation {
             l2_tlb_hit_cycles: config.vmem.tlb.l2_hit_cycles,
             fault_contention: config.vmem.costs.fault_contention_per_thread,
             threads: spec.threads,
+            faults: FaultPlan::new(&config.faults),
+            robust: RobustnessStats::default(),
         };
+        {
+            // Pins expire and pressure events apply at epoch boundaries;
+            // epoch 0 covers a pressure event scheduled before the run.
+            let SimState { faults, space, .. } = &mut st;
+            faults.begin_epoch(0, space);
+        }
 
         let total_rounds = gen.total_rounds();
         let think = u64::from(spec.think_cycles_per_op);
@@ -316,6 +428,11 @@ impl Simulation {
         let mut overhead_total: u64 = 0;
         let mut epochs: Vec<EpochRecord> = Vec::new();
         let mut epoch_index: u32 = 0;
+        // Failed actions of the previous epoch, fed back to the policy on
+        // fault-injected runs (never on fault-free runs, so a policy's
+        // retry machinery stays dormant and zero-fault behaviour is
+        // bit-identical to the pre-fault-layer engine).
+        let mut last_failures: Vec<FailedAction> = Vec::new();
 
         for round in 0..total_rounds {
             let faulting = (0..spec.threads).filter(|&t| gen.in_alloc_phase(t)).count();
@@ -363,7 +480,11 @@ impl Simulation {
             }
 
             let controller_requests = st.mem.controller_epoch_requests();
-            let (samples, ibs_overhead) = st.sampler.drain();
+            let (mut samples, ibs_overhead) = st.sampler.drain();
+            // Injected sample loss/misattribution happens between the
+            // hardware and the daemon: counters are unaffected, the
+            // policy's view is. No-op when the plan is inactive.
+            st.faults.filter_samples(&mut samples, machine.num_nodes());
             let mem_stats = *st.mem.epoch_stats();
             let counters = EpochCounters {
                 epoch_cycles: epoch_wall,
@@ -382,9 +503,14 @@ impl Simulation {
             };
 
             let mut ctx = EpochCtx::new(machine, &counters, &samples, st.space.thp(), epoch_index);
+            if st.faults.is_active() {
+                ctx.set_failures(&last_failures);
+            }
             policy.on_epoch(&mut ctx);
             let actions = ctx.take_actions();
-            let (migrations, splits, action_cost) = st.apply_actions(actions);
+            st.robust.retries += ctx.retries_recorded();
+            let mut failures: Vec<FailedAction> = Vec::new();
+            let (migrations, splits, action_cost) = st.apply_actions(actions, &mut failures);
 
             // Kernel-side work (daemon scans, sampling NMIs, migrations)
             // executes on the same cores as the application; spread across
@@ -404,11 +530,25 @@ impl Simulation {
                 overhead_cycles: overhead,
                 thp_alloc_enabled: st.space.thp().alloc_2m,
                 thp_promote_enabled: st.space.thp().promote_2m,
+                failed_actions: failures.len() as u64,
             });
+            last_failures = failures;
             st.fault_epoch.iter_mut().for_each(|c| *c = 0);
             epoch_wall = 0;
             epoch_ops = 0;
             epoch_index += 1;
+            {
+                let SimState { faults, space, .. } = &mut st;
+                faults.begin_epoch(epoch_index, space);
+            }
+            if config.validate_each_epoch {
+                st.space.validate().unwrap_or_else(|e| {
+                    panic!(
+                        "vmem invariant violated after epoch {}: {e}",
+                        epoch_index - 1
+                    )
+                });
+            }
         }
 
         // --- Whole-run aggregates. ---
@@ -469,6 +609,14 @@ impl Simulation {
             None => PageMetrics::default(),
         };
 
+        // Merge the plan's own counters into the run's robustness block.
+        let fc = st.faults.counters;
+        st.robust.fallback_allocs = fc.fallback_allocs;
+        st.robust.busy_rejections = fc.busy_rejections;
+        st.robust.dropped_samples = fc.dropped_samples;
+        st.robust.misattributed_samples = fc.misattributed_samples;
+        st.robust.oom_reclaims = fc.oom_reclaims;
+
         SimResult {
             workload: spec.name.clone(),
             policy: policy.name().to_string(),
@@ -478,6 +626,7 @@ impl Simulation {
             epochs,
             lifetime,
             pages,
+            robustness: st.robust,
         }
     }
 }
@@ -603,6 +752,82 @@ mod tests {
         assert!(r.lifetime.max_fault_cycles > 0);
         assert!(r.lifetime.max_fault_fraction > 0.0);
         assert!(r.lifetime.max_fault_fraction < 1.0);
+    }
+
+    #[test]
+    fn zero_fault_config_is_bit_identical() {
+        // The pay-for-what-you-use guarantee: an explicit zero-rate plan,
+        // a FaultConfig::none(), and the default config all coincide.
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let mut config = SimConfig::fast_test();
+        config.vmem.thp = ThpControls::thp();
+        let plain = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        config.faults = crate::FaultConfig::uniform(99, 0.0);
+        config.validate_each_epoch = true;
+        let zeroed = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        assert_eq!(plain.runtime_cycles, zeroed.runtime_cycles);
+        assert_eq!(plain.lifetime.ibs_samples, zeroed.lifetime.ibs_samples);
+        assert_eq!(
+            plain.lifetime.vmem.faults_2m,
+            zeroed.lifetime.vmem.faults_2m
+        );
+        assert_eq!(plain.robustness, zeroed.robustness);
+        assert_eq!(plain.robustness, crate::RobustnessStats::default());
+    }
+
+    #[test]
+    fn huge_alloc_faults_force_4k_fallbacks() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let mut config = SimConfig::fast_test();
+        config.vmem.thp = ThpControls::thp();
+        config.faults = crate::FaultConfig::uniform(7, 1.0);
+        config.faults.rates.migrate_busy = 0.0;
+        config.faults.rates.sample_loss = 0.0;
+        config.faults.rates.sample_misattribution = 0.0;
+        config.validate_each_epoch = true;
+        let r = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        // Every huge allocation vetoed → the 4 MiB region faults in as
+        // 1024 small pages instead of 2 huge ones.
+        assert_eq!(r.lifetime.vmem.faults_2m, 0);
+        assert_eq!(r.lifetime.vmem.faults_4k, 1024);
+        assert!(r.robustness.fallback_allocs > 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_sound() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let mut config = SimConfig::fast_test();
+        config.vmem.thp = ThpControls::thp();
+        config.faults = crate::FaultConfig::uniform(21, 0.5);
+        config.validate_each_epoch = true;
+        let a = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        let b = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        assert_eq!(a.robustness, b.robustness);
+        assert!(a.robustness.dropped_samples > 0);
+    }
+
+    #[test]
+    fn memory_pressure_is_survivable() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let mut config = SimConfig::fast_test();
+        config.vmem.thp = ThpControls::thp();
+        // Reserve nearly all of node 0 before the run; faults must fall
+        // back to other nodes or reclaim instead of panicking.
+        config.faults.pressure = Some(crate::MemoryPressure {
+            epoch: 0,
+            node: NodeId(0),
+            bytes: machine.nodes()[0].dram_bytes - (8 << 20),
+            release_epoch: Some(2),
+        });
+        config.validate_each_epoch = true;
+        let r = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        assert!(r.runtime_cycles > 0);
+        assert_eq!(r.lifetime.total_ops, 9 * 400 * 4);
     }
 
     #[test]

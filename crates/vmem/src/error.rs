@@ -1,0 +1,85 @@
+//! The crate-wide typed error.
+//!
+//! The layer-local errors ([`FrameError`], [`SpaceError`], [`TableError`])
+//! stay on their fast paths; [`VmemError`] unifies them for callers that
+//! cross layers — fallible constructors and the [`crate::AddressSpace::validate`]
+//! invariant walker.
+
+use crate::frame::FrameError;
+use crate::space::SpaceError;
+use crate::table::TableError;
+use std::fmt;
+
+/// Unified error of the virtual-memory subsystem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmemError {
+    /// The machine spec describes zero NUMA nodes.
+    NoNodes,
+    /// Physical frame allocation failed.
+    Frame(FrameError),
+    /// An address-space operation failed.
+    Space(SpaceError),
+    /// A page-table structural operation failed.
+    Table(TableError),
+    /// An internal structural invariant does not hold; the message pins
+    /// down which one (see [`crate::AddressSpace::validate`]).
+    Invariant(String),
+}
+
+impl fmt::Display for VmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmemError::NoNodes => write!(f, "machine has no NUMA nodes"),
+            VmemError::Frame(e) => write!(f, "{e}"),
+            VmemError::Space(e) => write!(f, "{e}"),
+            VmemError::Table(e) => write!(f, "{e}"),
+            VmemError::Invariant(msg) => write!(f, "vmem invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmemError {}
+
+impl From<FrameError> for VmemError {
+    fn from(e: FrameError) -> Self {
+        VmemError::Frame(e)
+    }
+}
+
+impl From<SpaceError> for VmemError {
+    fn from(e: SpaceError) -> Self {
+        VmemError::Space(e)
+    }
+}
+
+impl From<TableError> for VmemError {
+    fn from(e: TableError) -> Self {
+        VmemError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::NodeId;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = VmemError::NoNodes;
+        assert!(e.to_string().contains("no NUMA nodes"));
+        let e = VmemError::Frame(FrameError::OutOfMemory { node: NodeId(1) });
+        assert!(e.to_string().contains("out of physical memory"));
+        let e = VmemError::Invariant("free list overlaps leaf".into());
+        assert!(e.to_string().contains("free list overlaps leaf"));
+    }
+
+    #[test]
+    fn conversions_preserve_the_cause() {
+        let e: VmemError = FrameError::OutOfMemoryEverywhere.into();
+        assert_eq!(e, VmemError::Frame(FrameError::OutOfMemoryEverywhere));
+        let e: VmemError = SpaceError::NoRegion.into();
+        assert_eq!(e, VmemError::Space(SpaceError::NoRegion));
+        let e: VmemError = TableError::AlreadyMapped.into();
+        assert_eq!(e, VmemError::Table(TableError::AlreadyMapped));
+    }
+}

@@ -1,6 +1,7 @@
 //! Per-node buddy frame allocator.
 
 use crate::addr::{PhysAddr, PAGE_4K};
+use crate::error::VmemError;
 use crate::table::PageSize;
 use numa_topology::{MachineSpec, NodeId};
 use serde::{Deserialize, Serialize};
@@ -125,20 +126,31 @@ pub struct FrameAllocator {
 
 impl FrameAllocator {
     /// Builds an allocator covering all of `machine`'s DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine spec has zero nodes; use
+    /// [`FrameAllocator::try_new`] to handle that case as an error.
     pub fn new(machine: &MachineSpec) -> Self {
+        Self::try_new(machine).unwrap_or_else(|e| panic!("cannot build frame allocator: {e}"))
+    }
+
+    /// Builds an allocator covering all of `machine`'s DRAM, reporting a
+    /// machine with no nodes as [`VmemError::NoNodes`] instead of panicking.
+    pub fn try_new(machine: &MachineSpec) -> Result<Self, VmemError> {
         let stride = machine
             .nodes()
             .iter()
             .map(|n| n.dram_bytes)
             .max()
-            .expect("machine has nodes");
+            .ok_or(VmemError::NoNodes)?;
         let nodes = machine
             .nodes()
             .iter()
             .enumerate()
             .map(|(i, spec)| BuddyNode::new(i as u64 * stride, spec.dram_bytes))
             .collect();
-        FrameAllocator { nodes, stride }
+        Ok(FrameAllocator { nodes, stride })
     }
 
     /// Allocates a frame of `size` on exactly `node`.
@@ -198,6 +210,71 @@ impl FrameAllocator {
     /// Number of nodes managed.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Every free block on `node` as `(start address, order)`, in address
+    /// order within each order list (exposed for the invariant walker).
+    pub fn free_blocks(&self, node: NodeId) -> Vec<(u64, u32)> {
+        let mut blocks = Vec::new();
+        for (order, list) in self.nodes[node.index()].free.iter().enumerate() {
+            for &addr in list {
+                blocks.push((addr, order as u32));
+            }
+        }
+        blocks
+    }
+
+    /// Checks the buddy system's own invariants: every free block is
+    /// naturally aligned, inside its node's range, disjoint from every
+    /// other free block, and the per-node free-byte counters match the
+    /// free lists exactly.
+    pub fn validate(&self) -> Result<(), VmemError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let base = i as u64 * self.stride;
+            let end = base + node.total_bytes;
+            let mut intervals: Vec<(u64, u64)> = Vec::new();
+            let mut sum: u64 = 0;
+            for (order, list) in node.free.iter().enumerate() {
+                let size = PAGE_4K << order;
+                for &addr in list {
+                    if !addr.is_multiple_of(size) {
+                        return Err(VmemError::Invariant(format!(
+                            "node {i}: free block {addr:#x} misaligned for order {order}"
+                        )));
+                    }
+                    if addr < base || addr + size > end {
+                        return Err(VmemError::Invariant(format!(
+                            "node {i}: free block {addr:#x}+{size:#x} outside \
+                             [{base:#x}, {end:#x})"
+                        )));
+                    }
+                    intervals.push((addr, size));
+                    sum += size;
+                }
+            }
+            if sum != node.free_bytes {
+                return Err(VmemError::Invariant(format!(
+                    "node {i}: free lists hold {sum} bytes but free_bytes says {}",
+                    node.free_bytes
+                )));
+            }
+            if node.free_bytes > node.total_bytes {
+                return Err(VmemError::Invariant(format!(
+                    "node {i}: free_bytes {} exceeds total_bytes {}",
+                    node.free_bytes, node.total_bytes
+                )));
+            }
+            intervals.sort_unstable();
+            for w in intervals.windows(2) {
+                if w[0].0 + w[0].1 > w[1].0 {
+                    return Err(VmemError::Invariant(format!(
+                        "node {i}: free blocks {:#x}+{:#x} and {:#x} overlap",
+                        w[0].0, w[0].1, w[1].0
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -305,6 +382,48 @@ mod tests {
             a.free(*f, PageSize::Size4K);
         }
         assert!(a.alloc(NodeId(0), PageSize::Size1G).is_ok());
+    }
+
+    #[test]
+    fn try_new_matches_new_on_real_machines() {
+        // `MachineSpec` statically guarantees at least one node, so the
+        // `NoNodes` branch is a defensive path; `try_new` must agree with
+        // `new` everywhere a machine can actually exist.
+        let a = FrameAllocator::try_new(&MachineSpec::test_machine()).unwrap();
+        let b = FrameAllocator::new(&MachineSpec::test_machine());
+        assert_eq!(a.free_bytes(NodeId(0)), b.free_bytes(NodeId(0)));
+        assert_eq!(a.num_nodes(), b.num_nodes());
+    }
+
+    #[test]
+    fn validate_accepts_live_states() {
+        let mut a = alloc_2node();
+        a.validate().unwrap();
+        let f = a.alloc(NodeId(0), PageSize::Size2M).unwrap();
+        let g = a.alloc(NodeId(1), PageSize::Size4K).unwrap();
+        a.validate().unwrap();
+        a.free(f, PageSize::Size2M);
+        a.free(g, PageSize::Size4K);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_corrupted_accounting() {
+        let mut a = alloc_2node();
+        a.nodes[0].free_bytes += 1;
+        assert!(matches!(a.validate().unwrap_err(), VmemError::Invariant(_)));
+    }
+
+    #[test]
+    fn free_blocks_cover_free_bytes() {
+        let mut a = alloc_2node();
+        let _ = a.alloc(NodeId(0), PageSize::Size2M).unwrap();
+        let covered: u64 = a
+            .free_blocks(NodeId(0))
+            .iter()
+            .map(|&(_, order)| PAGE_4K << order)
+            .sum();
+        assert_eq!(covered, a.free_bytes(NodeId(0)));
     }
 
     #[test]

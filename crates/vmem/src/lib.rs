@@ -31,6 +31,7 @@
 //! ```
 
 mod addr;
+mod error;
 mod frame;
 mod ops;
 mod replica;
@@ -40,9 +41,12 @@ mod tlb;
 
 pub use addr::{PhysAddr, VirtAddr};
 pub use addr::{GIB, KIB, MIB, PAGE_1G, PAGE_2M, PAGE_4K};
+pub use error::VmemError;
 pub use frame::{FrameAllocator, FrameError};
 pub use ops::{OpCost, OpCostModel};
 pub use replica::{ReplicaSet, ReplicaTable};
-pub use space::{AddressSpace, FaultOutcome, SpaceError, ThpControls, VmemConfig, VmemStats};
+pub use space::{
+    AddressSpace, AllocGate, AllowAll, FaultOutcome, SpaceError, ThpControls, VmemConfig, VmemStats,
+};
 pub use table::{CollapseOutcome, Mapping, PageSize, PageTable, TableError, WalkResult, WalkStep};
 pub use tlb::{Tlb, TlbConfig, TlbEntry, TlbLookup, TlbStats};

@@ -127,6 +127,17 @@ impl ReplicaTable {
     pub fn replicated_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Visits every replica frame as `(page vbase, node, frame)` (exposed
+    /// for the invariant walker — replica frames are live allocations that
+    /// the page table does not know about).
+    pub fn for_each_frame(&self, mut f: impl FnMut(VirtAddr, NodeId, PhysAddr)) {
+        for (&vbase, set) in &self.pages {
+            for (&node, &frame) in &set.frames {
+                f(VirtAddr(vbase), NodeId(node), frame);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! The address space: VMAs, demand faulting, THP, and page operations.
 
-use crate::addr::{VirtAddr, PAGE_1G, PAGE_2M, PAGE_4K};
+use crate::addr::{PhysAddr, VirtAddr, PAGE_1G, PAGE_2M, PAGE_4K};
+use crate::error::VmemError;
 use crate::frame::{FrameAllocator, FrameError};
 use crate::ops::{OpCost, OpCostModel};
 use crate::replica::ReplicaTable;
@@ -161,6 +162,30 @@ struct Region {
     len: u64,
 }
 
+/// A veto point consulted before each huge/giant frame allocation at fault
+/// time. Models transient THP allocation failure — compaction not finding
+/// a contiguous block — which Linux reports as `thp_fault_fallback` and
+/// answers by backing the fault with 4 KiB pages instead.
+///
+/// The gate is `&mut` so implementations may hold RNG state (the engine's
+/// fault-injection plan does); it is consulted only for allocations that
+/// would genuinely be attempted (after the region-fit and population
+/// probes), so every call corresponds to one would-be huge allocation.
+pub trait AllocGate {
+    /// Whether a huge/giant allocation of `size` may proceed this fault.
+    fn allow_huge(&mut self, size: PageSize) -> bool;
+}
+
+/// The default gate: never vetoes anything.
+pub struct AllowAll;
+
+impl AllocGate for AllowAll {
+    #[inline]
+    fn allow_huge(&mut self, _size: PageSize) -> bool {
+        true
+    }
+}
+
 /// One process's address space on one machine.
 ///
 /// Owns the machine's frame allocator and the page table; the engine owns
@@ -190,12 +215,20 @@ impl AddressSpace {
     ///
     /// # Panics
     ///
-    /// Panics if even the page-table root cannot be allocated (machine with
-    /// no memory).
+    /// Panics if the machine has no nodes or not even the page-table root
+    /// can be allocated (a machine with no memory); use
+    /// [`AddressSpace::try_new`] to handle those cases as errors.
     pub fn new(machine: &MachineSpec, config: VmemConfig) -> Self {
-        let mut frames = FrameAllocator::new(machine);
-        let table = PageTable::new(&mut frames, NodeId(0)).expect("root table frame");
-        AddressSpace {
+        Self::try_new(machine, config).unwrap_or_else(|e| panic!("cannot build address space: {e}"))
+    }
+
+    /// Creates an empty address space for `machine`, reporting an unusable
+    /// machine spec (no nodes, no memory for the root table) as a typed
+    /// error instead of panicking.
+    pub fn try_new(machine: &MachineSpec, config: VmemConfig) -> Result<Self, VmemError> {
+        let mut frames = FrameAllocator::try_new(machine)?;
+        let table = PageTable::new(&mut frames, NodeId(0)).map_err(VmemError::Table)?;
+        Ok(AddressSpace {
             frames,
             table,
             regions: Vec::new(),
@@ -206,7 +239,7 @@ impl AddressSpace {
             scan_cursor: 0,
             no_promote: std::collections::BTreeSet::new(),
             replicas: ReplicaTable::new(),
-        }
+        })
     }
 
     /// Registers an anonymous region at `[base, base + len)`.
@@ -334,6 +367,19 @@ impl AddressSpace {
     /// on the preferred node (falling back to smaller sizes before falling
     /// back to remote nodes, matching THP's behaviour).
     pub fn fault(&mut self, vaddr: VirtAddr, node: NodeId) -> Result<FaultOutcome, SpaceError> {
+        self.fault_gated(vaddr, node, &mut AllowAll)
+    }
+
+    /// Like [`AddressSpace::fault`], but consults `gate` before each huge
+    /// or giant allocation that would otherwise be attempted; a veto makes
+    /// the fault fall through to the next smaller size, exactly as if the
+    /// allocation itself had failed (THP compaction failure).
+    pub fn fault_gated(
+        &mut self,
+        vaddr: VirtAddr,
+        node: NodeId,
+        gate: &mut dyn AllocGate,
+    ) -> Result<FaultOutcome, SpaceError> {
         let region = self.region_of(vaddr).ok_or(SpaceError::NoRegion)?;
         if self.table.translate(vaddr).is_some() {
             return Err(SpaceError::AlreadyMapped);
@@ -365,6 +411,10 @@ impl AddressSpace {
                 vaddr.align_down(PAGE_4K),
             ];
             if probes.iter().any(|&p| self.table.translate(p).is_some()) {
+                continue;
+            }
+            if size != PageSize::Size4K && !gate.allow_huge(size) {
+                // Vetoed: compaction "failed"; fall back to a smaller size.
                 continue;
             }
             let got = if size == PageSize::Size4K {
@@ -516,8 +566,9 @@ impl AddressSpace {
         drop(groups);
         if window.len() > max_candidates {
             // Remember where to resume; the extra element marks the cursor.
-            let (resume, _, _) = window.pop().expect("just checked length");
-            self.scan_cursor = resume;
+            if let Some((resume, _, _)) = window.pop() {
+                self.scan_cursor = resume;
+            }
         } else {
             // Wrapped around the end: restart from the beginning next time.
             self.scan_cursor = 0;
@@ -600,6 +651,134 @@ impl AddressSpace {
     /// Frees a raw frame taken with [`AddressSpace::alloc_frame`].
     pub fn free_frame(&mut self, frame: crate::addr::PhysAddr, size: PageSize) {
         self.frames.free(frame, size);
+    }
+
+    /// Walks every structural invariant tying the page table, the replica
+    /// table, and the frame allocator together:
+    ///
+    /// 1. the buddy allocator's own invariants ([`FrameAllocator::validate`]);
+    /// 2. every leaf mapping is aligned, lies inside a registered region,
+    ///    and claims the node that physically owns its frame;
+    /// 3. every replicated page is currently mapped as a 4 KiB leaf and its
+    ///    replica frames live on the nodes they claim;
+    /// 4. `table_bytes` equals the frames of the root-reachable table nodes;
+    /// 5. leaf frames, table frames, replica frames, and free blocks are
+    ///    pairwise disjoint (no double mapping, no mapped-but-free frame).
+    ///
+    /// Raw frames taken via [`AddressSpace::alloc_frame`] are allocated but
+    /// deliberately untracked (pinned buffers), so they appear in none of
+    /// the interval lists — which is consistent with every check above.
+    ///
+    /// O(n log n) in the number of mappings: debug/chaos aid, not a fast
+    /// path. Returns the first violation found.
+    pub fn validate(&self) -> Result<(), VmemError> {
+        self.frames.validate()?;
+
+        // Tagged allocated intervals: (start, bytes, what).
+        let mut intervals: Vec<(u64, u64, &'static str)> = Vec::new();
+
+        let mut leaf_err: Option<VmemError> = None;
+        self.table.for_each_leaf(|m| {
+            if leaf_err.is_some() {
+                return;
+            }
+            if !m.vbase.is_aligned(m.size.bytes()) || !m.frame.is_aligned(m.size.bytes()) {
+                leaf_err = Some(VmemError::Invariant(format!(
+                    "leaf {} -> {} misaligned for {}",
+                    m.vbase, m.frame, m.size
+                )));
+                return;
+            }
+            if self.region_of(m.vbase).is_none() {
+                leaf_err = Some(VmemError::Invariant(format!(
+                    "leaf {} lies outside every region",
+                    m.vbase
+                )));
+                return;
+            }
+            if self.frames.node_of(m.frame) != m.node {
+                leaf_err = Some(VmemError::Invariant(format!(
+                    "leaf {} claims {} but frame {} belongs to {}",
+                    m.vbase,
+                    m.node,
+                    m.frame,
+                    self.frames.node_of(m.frame)
+                )));
+                return;
+            }
+            intervals.push((m.frame.0, m.size.bytes(), "leaf"));
+        });
+        if let Some(e) = leaf_err {
+            return Err(e);
+        }
+
+        let tables = self.table.reachable_table_frames();
+        if tables.len() as u64 * PAGE_4K != self.table.table_bytes() {
+            return Err(VmemError::Invariant(format!(
+                "{} reachable table nodes but table_bytes = {}",
+                tables.len(),
+                self.table.table_bytes()
+            )));
+        }
+        for (frame, node) in tables {
+            if self.frames.node_of(frame) != node {
+                return Err(VmemError::Invariant(format!(
+                    "table frame {frame} claims {node} but belongs to {}",
+                    self.frames.node_of(frame)
+                )));
+            }
+            intervals.push((frame.0, PAGE_4K, "table"));
+        }
+
+        let mut replica_err: Option<VmemError> = None;
+        self.replicas.for_each_frame(|vbase, node, frame| {
+            if replica_err.is_some() {
+                return;
+            }
+            match self.table.translate(vbase) {
+                Some(m) if m.size == PageSize::Size4K && m.vbase == vbase => {}
+                _ => {
+                    replica_err = Some(VmemError::Invariant(format!(
+                        "replica of {vbase} exists but the page is not a \
+                         mapped 4 KiB leaf"
+                    )));
+                    return;
+                }
+            }
+            if self.frames.node_of(frame) != node {
+                replica_err = Some(VmemError::Invariant(format!(
+                    "replica frame {frame} claims {node} but belongs to {}",
+                    self.frames.node_of(frame)
+                )));
+                return;
+            }
+            intervals.push((frame.0, PAGE_4K, "replica"));
+        });
+        if let Some(e) = replica_err {
+            return Err(e);
+        }
+
+        // Free blocks join the interval list: an allocated frame on a free
+        // list is a use-after-free in the making.
+        for n in 0..self.frames.num_nodes() {
+            for (addr, order) in self.frames.free_blocks(NodeId::from(n)) {
+                intervals.push((addr, PAGE_4K << order, "free"));
+            }
+        }
+
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            let (a_start, a_len, a_what) = w[0];
+            let (b_start, _, b_what) = w[1];
+            if a_start + a_len > b_start {
+                return Err(VmemError::Invariant(format!(
+                    "{a_what} frame {} overlaps {b_what} frame {}",
+                    PhysAddr(a_start),
+                    PhysAddr(b_start)
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -816,6 +995,69 @@ mod tests {
             SpaceError::BadRegion
         );
         s.map_region(BASE + (1 << 30), 4096).unwrap();
+    }
+
+    /// A gate vetoing every huge allocation.
+    struct DenyHuge;
+    impl AllocGate for DenyHuge {
+        fn allow_huge(&mut self, _: PageSize) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn gated_fault_falls_back_to_small_pages() {
+        let mut s = space();
+        s.map_region(BASE, 64 << 20).unwrap();
+        let f = s
+            .fault_gated(VirtAddr(BASE + 0x1234), NodeId(0), &mut DenyHuge)
+            .unwrap();
+        assert_eq!(f.mapping.size, PageSize::Size4K);
+        assert_eq!(s.stats().faults_4k, 1);
+        assert_eq!(s.stats().faults_2m, 0);
+        // The default gate still installs huge pages.
+        let f = s.fault(VirtAddr(BASE + PAGE_2M), NodeId(0)).unwrap();
+        assert_eq!(f.mapping.size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn try_new_builds_working_spaces() {
+        let machine = MachineSpec::test_machine();
+        let mut s = AddressSpace::try_new(&machine, VmemConfig::default()).unwrap();
+        s.map_region(BASE, 4 << 20).unwrap();
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_accepts_a_well_exercised_space() {
+        let mut s = space();
+        s.map_region(BASE, 64 << 20).unwrap();
+        s.validate().unwrap();
+        // Fault a mix of sizes, split, migrate, collapse, replicate.
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        s.fault(VirtAddr(BASE + PAGE_2M), NodeId(1)).unwrap();
+        s.validate().unwrap();
+        s.split(VirtAddr(BASE)).unwrap();
+        s.validate().unwrap();
+        s.migrate(VirtAddr(BASE + 0x3000), NodeId(1)).unwrap();
+        s.validate().unwrap();
+        s.replicate(VirtAddr(BASE + 0x3000), 2).unwrap();
+        s.validate().unwrap();
+        s.thp_mut().promote_2m = true;
+        s.clear_promote_inhibitions();
+        s.promotion_scan(16);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_a_freed_mapped_frame() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        let f = s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        // Simulated corruption: free the frame while it stays mapped.
+        s.free_frame(f.mapping.frame, PageSize::Size4K);
+        assert!(matches!(s.validate().unwrap_err(), VmemError::Invariant(_)));
     }
 
     #[test]

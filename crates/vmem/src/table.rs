@@ -519,6 +519,25 @@ impl PageTable {
         self.for_each_leaf(|m| v.push(*m));
         v
     }
+
+    /// Physical frames of every table node *reachable from the root*, with
+    /// the node hosting each. Collapse abandons its child's arena slot
+    /// (the slot stays, its frame is freed), so the arena itself
+    /// over-approximates the live tables — only reachability is truth.
+    pub fn reachable_table_frames(&self) -> Vec<(PhysAddr, NodeId)> {
+        let mut out = Vec::new();
+        let mut stack = vec![ROOT];
+        while let Some(node) = stack.pop() {
+            let table = &self.arena[node as usize];
+            out.push((table.base, table.node));
+            for e in table.entries.values() {
+                if let Entry::Table(next) = e {
+                    stack.push(*next);
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -714,6 +733,22 @@ mod tests {
         let leaves = t.leaves();
         let addrs: Vec<u64> = leaves.iter().map(|m| m.vbase.0).collect();
         assert_eq!(addrs, vec![0x1000, 0x2000, 0x3000, 0x10_0000_0000]);
+    }
+
+    #[test]
+    fn reachable_frames_shrink_after_collapse() {
+        let (mut f, mut t) = setup();
+        for i in 0..512u64 {
+            map4k(&mut t, &mut f, 0x4000_0000 + i * PAGE_4K, NodeId(0));
+        }
+        let before = t.reachable_table_frames().len();
+        let huge = f.alloc(NodeId(0), PageSize::Size2M).unwrap();
+        t.collapse(VirtAddr(0x4000_0000), PageSize::Size2M, huge, NodeId(0))
+            .unwrap();
+        let after = t.reachable_table_frames();
+        // The PT node retired; its arena slot remains but is unreachable.
+        assert_eq!(after.len(), before - 1);
+        assert_eq!(after.len() as u64 * PAGE_4K, t.table_bytes());
     }
 
     #[test]

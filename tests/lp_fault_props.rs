@@ -1,0 +1,77 @@
+//! End-to-end property tests: the full Carrefour-LP policy under random
+//! fault plans. The run must complete, hold the vmem invariants each
+//! epoch, and the zero-rate corner must be bit-identical to a run with
+//! no fault layer configured at all.
+
+use carrefour_lp::prelude::*;
+use proptest::prelude::*;
+
+fn small_spec(machine: &MachineSpec) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "lp-fault-props".into(),
+        threads: machine.total_cores(),
+        regions: vec![RegionSpec {
+            base: 64 << 30,
+            bytes: 6 << 20,
+            share: 1.0,
+            pattern: AccessPattern::SharedUniform,
+            alloc_skew: 0.0,
+            loader_headers: 0.0,
+            rw_shared: false,
+            read_only: false,
+        }],
+        ops_per_round: 200,
+        compute_rounds: 6,
+        think_cycles_per_op: 10,
+        write_fraction: 0.3,
+        phases: Vec::new(),
+        mlp: 1,
+    }
+}
+
+fn run_lp(machine: &MachineSpec, faults: FaultConfig, validate: bool) -> SimResult {
+    let spec = small_spec(machine);
+    let mut config = SimConfig::for_machine(machine, vmem::ThpControls::thp());
+    config.faults = faults;
+    config.validate_each_epoch = validate;
+    let mut policy = CarrefourLp::new();
+    Simulation::run(machine, &spec, &config, &mut policy)
+}
+
+proptest! {
+    /// Carrefour-LP completes under arbitrary operational + corruption
+    /// fault mixes without panicking or corrupting page tables.
+    #[test]
+    fn carrefour_lp_survives_random_fault_plans(
+        seed in 0u64..=u64::MAX,
+        rate in 0.0f64..0.7,
+        corruption in 0.0f64..0.2,
+    ) {
+        let machine = MachineSpec::test_machine();
+        let mut faults = FaultConfig::uniform(seed, rate);
+        faults.rates.sample_misattribution = corruption;
+        let r = run_lp(&machine, faults, true);
+        prop_assert!(r.runtime_cycles > 0);
+        // Retries never exceed what was attempted across the run: each
+        // failed action re-enters the queue a bounded number of times.
+        let failed = r.robustness.failed_actions();
+        prop_assert!(
+            r.robustness.retries <= failed * 3,
+            "{} retries for {} failures",
+            r.robustness.retries,
+            failed
+        );
+    }
+
+    /// Zero-rate fault plans with arbitrary seeds are bit-identical to no
+    /// fault layer at all: the seed must not leak into the simulation.
+    #[test]
+    fn zero_rate_plans_never_perturb_the_run(seed in 0u64..=u64::MAX) {
+        let machine = MachineSpec::test_machine();
+        let baseline = run_lp(&machine, FaultConfig::none(), false);
+        let seeded = run_lp(&machine, FaultConfig::uniform(seed, 0.0), false);
+        prop_assert_eq!(baseline.runtime_cycles, seeded.runtime_cycles);
+        prop_assert_eq!(baseline.robustness, seeded.robustness);
+        prop_assert_eq!(baseline.epochs.len(), seeded.epochs.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline vendored minimal replacement for the `criterion` benchmark
+//! harness.
+//!
+//! Implements the subset of the API the workspace benches use —
+//! `Criterion::bench_function`, `benchmark_group` + `sample_size` +
+//! `finish`, `Bencher::iter`/`iter_batched`, `BatchSize`, and the
+//! `criterion_group!`/`criterion_main!` macros — with plain wall-clock
+//! timing and a one-line report per benchmark. No statistics, plots, or
+//! baselines: good enough to run the benches and eyeball relative cost,
+//! and trivially swappable for the real crate when network access exists.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; the stub treats every variant the
+/// same (setup is always excluded from timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` excluding per-iteration `setup` cost.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!("{name:<48} {per_iter:>12.2?}/iter  ({} iters)", b.iters);
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(name, &mut f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("probe", |b| {
+                b.iter_batched(|| (), |()| runs += 1, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+}

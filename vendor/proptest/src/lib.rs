@@ -1,0 +1,190 @@
+//! Offline vendored minimal replacement for `proptest`.
+//!
+//! Supports the subset the workspace tests use: the `proptest! { fn
+//! name(arg in strategy, ...) { body } }` macro over integer/float range
+//! strategies, plus `prop_assert!`/`prop_assert_eq!`. Each test runs
+//! `PROPTEST_CASES` (default 32) deterministic cases — inputs derive from
+//! a hash of the test name and the case index, so failures reproduce
+//! exactly across runs and machines. No shrinking: the failing inputs are
+//! printed instead, which for the plain scalar strategies here is enough
+//! to re-run a case by hand.
+#![forbid(unsafe_code)]
+
+/// Deterministic per-case random source (splitmix64).
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    /// Builds the generator for `(test name, case index)`.
+    pub fn new(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        CaseRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A value generator usable on the right of `in` inside `proptest!`.
+pub trait Strategy {
+    /// Type of value produced.
+    type Value;
+    /// Draws one value for the current case.
+    fn pick(&self, rng: &mut CaseRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut CaseRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut CaseRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start..end + 1).pick(rng)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn pick(&self, rng: &mut CaseRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Fixed list of choices, sampled uniformly.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn pick(&self, _rng: &mut CaseRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: Clone> Strategy for &[T] {
+    type Value = T;
+    fn pick(&self, rng: &mut CaseRng) -> T {
+        assert!(!self.is_empty(), "empty choice slice");
+        let idx = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+        self[idx].clone()
+    }
+}
+
+/// Number of cases each property runs (override with `PROPTEST_CASES`).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases()` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::cases();
+            for case in 0..cases {
+                let mut rng = $crate::CaseRng::new(stringify!($name), case);
+                $(let $arg = $crate::Strategy::pick(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest {} failed at case {case} with {inputs}",
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+    pub use crate::{cases, prop_assert, prop_assert_eq, proptest, CaseRng, Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(x in 5u64..10, y in 0u32..3, f in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn second_property_in_same_block(v in 0usize..4) {
+            prop_assert!(v < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_inputs() {
+        let mut a = CaseRng::new("t", 3);
+        let mut b = CaseRng::new("t", 3);
+        assert_eq!((0u64..100).pick(&mut a), (0u64..100).pick(&mut b));
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! `Serialize`/`Deserialize` are marker traits here: the workspace never
+//! serializes through serde (the bench crate writes JSON by hand), it only
+//! tags types so the public API keeps the same shape as with the real
+//! crate. Blanket impls cover every type, so the no-op derives in
+//! `serde_derive` and explicit trait bounds both keep compiling.
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for "this type is serializable"; no methods in the stub.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for "this type is deserializable"; no methods in the stub.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}

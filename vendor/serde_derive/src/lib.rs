@@ -1,0 +1,23 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as markers (all
+//! actual serialization is hand-written JSON in the bench crate), so the
+//! derives expand to nothing. Keeping them as real proc-macros means the
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace
+//! compile unchanged and can be pointed back at the real serde when the
+//! build environment regains network access.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: the marker trait has no items to implement,
+/// and a blanket impl in `serde` covers every type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
