@@ -1,0 +1,174 @@
+//! Per-epoch trace timeline renderer and golden-digest regenerator.
+//!
+//! Default mode runs the golden cell set traced and renders, for each
+//! cell, a per-epoch timeline (one row per epoch: imbalance, LAR,
+//! walk-miss fraction, faults/splits/migrations/collapses, THP switches,
+//! policy decisions) — to stdout and to `results/trace_<cell>.txt`, with
+//! the full event stream in `results/trace_<cell>.jsonl`.
+//!
+//! `--bless` instead recomputes every golden digest and rewrites
+//! `tests/golden/*.json` (see DESIGN.md §9 for when blessing is the right
+//! response to a golden-trace failure).
+
+use carrefour_bench::golden::{self, GoldenCell, GOLDEN_CELLS};
+use engine::trace::{EpochSnap, PolicyDecision, TraceEvent};
+use engine::{JsonlSink, SimConfig, Simulation, TeeSink, VecSink};
+use numa_topology::MachineSpec;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+
+fn main() {
+    let bless = std::env::args().any(|a| a == "--bless");
+    if bless {
+        let dir = golden::golden_dir();
+        match golden::bless(&dir) {
+            Ok(files) => {
+                println!("blessed {} golden digests:", files.len());
+                for f in files {
+                    println!("  {}", f.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let machine = MachineSpec::machine_a();
+    let _ = std::fs::create_dir_all("results");
+    for &cell in &GOLDEN_CELLS {
+        let (events, runtime_ms) = run_traced_cell(&machine, cell);
+        let timeline = render_timeline(&cell, runtime_ms, &events);
+        print!("{timeline}");
+        let txt = format!("results/trace_{}.txt", cell.stem());
+        if std::fs::write(&txt, &timeline).is_ok() {
+            println!("  -> {txt} and results/trace_{}.jsonl\n", cell.stem());
+        }
+    }
+}
+
+/// Runs one cell with a collector and a JSONL file sink teed together.
+fn run_traced_cell(machine: &MachineSpec, cell: GoldenCell) -> (Vec<TraceEvent>, f64) {
+    let config = SimConfig::for_machine(machine, cell.kind.initial_thp());
+    let spec = cell.bench.spec(machine);
+    let mut policy = cell.kind.make();
+    let mut collect = VecSink::new();
+    let jsonl_path = format!("results/trace_{}.jsonl", cell.stem());
+    let result = match File::create(Path::new(&jsonl_path)) {
+        Ok(f) => {
+            let mut jsonl = JsonlSink::new(BufWriter::new(f));
+            let mut tee = TeeSink::new(vec![&mut collect, &mut jsonl]);
+            Simulation::run_traced(machine, &spec, &config, policy.as_mut(), &mut tee)
+        }
+        // Read-only checkout: still render the timeline from memory.
+        Err(_) => Simulation::run_traced(machine, &spec, &config, policy.as_mut(), &mut collect),
+    };
+    (collect.events, result.runtime_ms)
+}
+
+/// One epoch's accumulated row while walking the event stream.
+#[derive(Default)]
+struct Row {
+    faults: u64,
+    decisions: Vec<String>,
+    snap: Option<EpochSnap>,
+}
+
+fn decision_label(d: &PolicyDecision) -> String {
+    match d {
+        PolicyDecision::EnableThp {
+            walk_miss_fraction,
+            promote,
+            ..
+        } => format!(
+            "enable-thp(walk-miss {:.1}%{})",
+            walk_miss_fraction * 100.0,
+            if *promote { ", promote" } else { "" }
+        ),
+        PolicyDecision::SplitFlag {
+            on,
+            carrefour_gain_pp,
+            split_gain_pp,
+        } => format!(
+            "split-flag={} (carrefour {carrefour_gain_pp:+.1}pp, split {split_gain_pp:+.1}pp)",
+            if *on { "on" } else { "off" }
+        ),
+        PolicyDecision::SplitShared { base, sharers } => {
+            format!("split-shared({base:#x}, {sharers} nodes)")
+        }
+        PolicyDecision::SplitHot {
+            base,
+            samples,
+            total,
+            ..
+        } => format!("split-hot({base:#x}, {samples}/{total} samples)"),
+        PolicyDecision::BreakerTrip { breaker } => format!("breaker-trip({breaker})"),
+    }
+}
+
+/// Renders the Figure-2-style text timeline for one traced run.
+fn render_timeline(cell: &GoldenCell, runtime_ms: f64, events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== trace timeline: {} under {} (machine-a), runtime {runtime_ms:.1} ms ==",
+        cell.bench.name(),
+        cell.kind.label()
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>9} {:>6} {:>7} {:>7} {:>6} {:>5} {:>5} {:>4} {:>4}  {}",
+        "epoch",
+        "imbal%",
+        "lar",
+        "walk%",
+        "faults",
+        "split",
+        "migr",
+        "clps",
+        "thp",
+        "fail",
+        "decisions"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    let mut cur = Row::default();
+    for ev in events {
+        match ev {
+            TraceEvent::PageFault { .. } => cur.faults += 1,
+            TraceEvent::Decision { decision, .. } => cur.decisions.push(decision_label(decision)),
+            TraceEvent::EpochEnd { snap, .. } => {
+                cur.snap = Some(snap.clone());
+                rows.push(std::mem::take(&mut cur));
+            }
+            _ => {}
+        }
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let Some(snap) = &row.snap else { continue };
+        let _ = writeln!(
+            out,
+            "{:>5} {:>9.1} {:>6.3} {:>7.2} {:>7} {:>6} {:>5} {:>5} {:>4} {:>4}  {}",
+            i,
+            snap.imbalance,
+            snap.lar,
+            snap.walk_miss_fraction * 100.0,
+            row.faults,
+            snap.splits,
+            snap.migrations,
+            snap.collapses,
+            match (snap.thp_alloc, snap.thp_promote) {
+                (true, true) => "a+p",
+                (true, false) => "a",
+                (false, true) => "p",
+                (false, false) => "-",
+            },
+            snap.failed_actions,
+            row.decisions.join("; "),
+        );
+    }
+    out
+}

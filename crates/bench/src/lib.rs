@@ -13,6 +13,8 @@ use serde::{Deserialize, Serialize};
 use vmem::ThpControls;
 use workloads::Benchmark;
 
+pub mod golden;
+
 /// Every system configuration the paper evaluates.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum PolicyKind {

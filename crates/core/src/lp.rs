@@ -4,7 +4,7 @@ use crate::classic::Carrefour;
 use crate::config::{CarrefourConfig, LpThresholds, RobustnessConfig};
 use crate::lar;
 use crate::robust::{CircuitBreaker, RetryQueue};
-use engine::{EpochCtx, NumaPolicy, PolicyAction};
+use engine::{EpochCtx, NumaPolicy, PolicyAction, PolicyDecision};
 use profiling::IbsSample;
 use std::collections::{BTreeMap, BTreeSet};
 use vmem::PageSize;
@@ -241,10 +241,17 @@ impl NumaPolicy for CarrefourLp {
                 )
             })
             .count() as u64;
+        let trips_before = (self.split_breaker.trips, self.move_breaker.trips);
         self.split_breaker
             .observe(epoch, self.issued_splits, failed_splits);
         self.move_breaker
             .observe(epoch, self.issued_moves, failed_moves);
+        if self.split_breaker.trips > trips_before.0 {
+            ctx.note(|| PolicyDecision::BreakerTrip { breaker: "split" });
+        }
+        if self.move_breaker.trips > trips_before.1 {
+            ctx.note(|| PolicyDecision::BreakerTrip { breaker: "move" });
+        }
         if self.retry_enabled {
             self.retry.absorb_failures(epoch, failed);
             let due = self.retry.due(epoch);
@@ -258,13 +265,25 @@ impl NumaPolicy for CarrefourLp {
 
         // --- Conservative component (Algorithm 1, lines 4–9). ---
         if self.components.conservative {
-            if ctx.counters.walk_miss_fraction() > t.walk_miss_enable {
+            let walk_miss_fraction = ctx.counters.walk_miss_fraction();
+            let max_fault_fraction = ctx.counters.max_fault_fraction();
+            if walk_miss_fraction > t.walk_miss_enable {
                 ctx.set_thp_alloc(true);
                 ctx.set_thp_promote(true);
-            } else if ctx.counters.max_fault_fraction() > t.fault_time_enable {
+                ctx.note(|| PolicyDecision::EnableThp {
+                    walk_miss_fraction,
+                    max_fault_fraction,
+                    promote: true,
+                });
+            } else if max_fault_fraction > t.fault_time_enable {
                 // Allocation only: pages that already faulted cheaply have
                 // nothing to gain from promotion.
                 ctx.set_thp_alloc(true);
+                ctx.note(|| PolicyDecision::EnableThp {
+                    walk_miss_fraction,
+                    max_fault_fraction,
+                    promote: false,
+                });
             }
         }
 
@@ -275,10 +294,19 @@ impl NumaPolicy for CarrefourLp {
         if self.components.reactive {
             let est = lar::estimate(ctx.samples, ctx.machine.num_nodes());
             if est.dram_samples > 0 {
+                let was = self.split_pages;
                 if est.carrefour_gain_pp() > t.carrefour_gain_pp {
                     self.split_pages = false;
                 } else if est.split_gain_pp() > t.split_gain_pp {
                     self.split_pages = true;
+                }
+                if self.split_pages != was {
+                    let on = self.split_pages;
+                    ctx.note(|| PolicyDecision::SplitFlag {
+                        on,
+                        carrefour_gain_pp: est.carrefour_gain_pp(),
+                        split_gain_pp: est.split_gain_pp(),
+                    });
                 }
             }
 
@@ -297,6 +325,8 @@ impl NumaPolicy for CarrefourLp {
                         self.split_history.insert(base);
                         self.carrefour.forget(base);
                         self.split_and_scatter(ctx, base);
+                        let sharers = view.nodes.len();
+                        ctx.note(|| PolicyDecision::SplitShared { base, sharers });
                     }
                 }
                 // Line 17: stop creating new large pages.
@@ -325,6 +355,13 @@ impl NumaPolicy for CarrefourLp {
                         self.split_history.insert(base);
                         self.carrefour.forget(base);
                         self.split_and_scatter(ctx, base);
+                        let (samples, imbalance) = (view.count, ctx.counters.imbalance());
+                        ctx.note(|| PolicyDecision::SplitHot {
+                            base,
+                            samples,
+                            total,
+                            imbalance,
+                        });
                     }
                     for &sub in &view.subpages {
                         hot_excluded.insert(sub);

@@ -1,5 +1,6 @@
 //! The policy hook: what Carrefour and Carrefour-LP plug into.
 
+use crate::trace::PolicyDecision;
 use numa_topology::{MachineSpec, NodeId};
 use profiling::{EpochCounters, IbsSample};
 use vmem::ThpControls;
@@ -79,6 +80,11 @@ pub struct EpochCtx<'a> {
     /// Retries the policy re-issued this epoch (self-reported via
     /// [`EpochCtx::record_retries`]).
     retries: u64,
+    /// Whether [`EpochCtx::note`] records decisions (the engine turns this
+    /// on only when a trace sink is attached, so noting stays free on
+    /// untraced runs).
+    record_decisions: bool,
+    decisions: Vec<PolicyDecision>,
 }
 
 impl<'a> EpochCtx<'a> {
@@ -100,7 +106,31 @@ impl<'a> EpochCtx<'a> {
             actions: Vec::new(),
             failed: &[],
             retries: 0,
+            record_decisions: false,
+            decisions: Vec::new(),
         }
+    }
+
+    /// Turns on decision recording for this epoch (the engine does this
+    /// when tracing; exposed for policy tests that assert on decisions).
+    pub fn enable_decision_log(&mut self) {
+        self.record_decisions = true;
+    }
+
+    /// Records a [`PolicyDecision`] with its evidence, for the trace. The
+    /// closure only runs when a trace sink is attached, so call sites pay
+    /// nothing on untraced runs. Purely observational — noting a decision
+    /// never changes what the engine does.
+    pub fn note(&mut self, make: impl FnOnce() -> PolicyDecision) {
+        if self.record_decisions {
+            self.decisions.push(make());
+        }
+    }
+
+    /// Drains the decisions noted this epoch (the engine forwards them to
+    /// the trace sink; exposed for policy unit tests).
+    pub fn take_decisions(&mut self) -> Vec<PolicyDecision> {
+        std::mem::take(&mut self.decisions)
     }
 
     /// Attaches the previous epoch's failed actions (the engine calls this
@@ -183,6 +213,15 @@ pub trait NumaPolicy {
 
     /// Reads the epoch's observations and queues actions on `ctx`.
     fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>);
+
+    /// Whether this policy reads IBS samples / page stats. When `false`
+    /// (and fault injection is off), the engine skips storing samples —
+    /// the sampling *overhead* is still charged, only the profiling
+    /// bookkeeping nobody will read is elided, so results stay
+    /// bit-identical.
+    fn consumes_samples(&self) -> bool {
+        true
+    }
 }
 
 /// The do-nothing policy: plain Linux (whatever the initial THP switches
@@ -195,6 +234,10 @@ impl NumaPolicy for NullPolicy {
     }
 
     fn on_epoch(&mut self, _ctx: &mut EpochCtx<'_>) {}
+
+    fn consumes_samples(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use vmem::VmemStats;
 
 /// One closed epoch's record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EpochRecord {
     /// Counters over the epoch.
     pub counters: EpochCounters,
@@ -67,7 +67,7 @@ impl RobustnessStats {
 }
 
 /// Whole-run aggregates.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LifetimeStats {
     /// Local access ratio over the whole run, in `[0, 1]`.
     pub lar: f64,
@@ -94,7 +94,7 @@ pub struct LifetimeStats {
 }
 
 /// The paper's Table 2 page metrics at two granularities.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct PageMetrics {
     /// Percent of accesses to the most-used page, at the final mapping
     /// granularity (2 MiB pages count as one page).
@@ -113,7 +113,7 @@ pub struct PageMetrics {
 }
 
 /// Everything a simulation run produces.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Workload name.
     pub workload: String,

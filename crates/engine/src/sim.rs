@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use crate::faults::FaultPlan;
 use crate::policy::{ActionError, EpochCtx, FailedAction, NumaPolicy, PolicyAction};
 use crate::result::{EpochRecord, LifetimeStats, PageMetrics, RobustnessStats, SimResult};
+use crate::trace::{EpochSnap, TraceEvent, TraceSink};
 use memsys::{AccessKind, MemorySystem};
 use numa_topology::{CoreId, MachineSpec, NodeId};
 use profiling::{metrics, CoreFaultTime, EpochCounters, IbsSample, IbsSampler, PageAccessStats};
@@ -23,7 +24,7 @@ fn mix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-struct SimState<'m> {
+struct SimState<'m, 't> {
     machine: &'m MachineSpec,
     /// DRAM latency divisor from the workload's memory-level parallelism.
     mlp: u64,
@@ -45,6 +46,11 @@ struct SimState<'m> {
     faults: FaultPlan,
     /// Failure-and-recovery accounting for the run.
     robust: RobustnessStats,
+    /// Trace sink, if the caller attached one ([`Simulation::run_traced`]).
+    /// `None` on plain runs: no event is constructed, let alone emitted.
+    trace: Option<&'t mut dyn TraceSink>,
+    /// Index of the epoch currently accumulating (for event attribution).
+    epoch: u32,
 }
 
 /// Maps a vmem error to the action-level error a policy sees.
@@ -55,7 +61,16 @@ fn action_error(e: &SpaceError) -> ActionError {
     }
 }
 
-impl<'m> SimState<'m> {
+impl<'m, 't> SimState<'m, 't> {
+    /// Emits one trace event. The closure only runs when a sink is
+    /// attached, so untraced runs pay a single branch per call site.
+    #[inline]
+    fn emit(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(&make());
+        }
+    }
+
     /// Executes one memory operation for `thread`; returns its cycle cost.
     #[inline]
     fn run_op(&mut self, thread: usize, op: workloads::Op, faulting_threads: usize) -> u64 {
@@ -86,6 +101,11 @@ impl<'m> SimState<'m> {
             if op.is_write && self.space.is_replicated(mapping.vbase) {
                 cycles += self.space.collapse_replicas(mapping.vbase);
                 self.shootdown(mapping.vbase, mapping.size);
+                let epoch = self.epoch;
+                self.emit(|| TraceEvent::ReplicaCollapse {
+                    epoch,
+                    vbase: mapping.vbase.0,
+                });
                 mapping
             } else {
                 self.space.resolve_replica(mapping, node)
@@ -172,6 +192,14 @@ impl<'m> SimState<'m> {
         *cycles += cost;
         self.fault_epoch[thread] += cost;
         self.fault_life[thread] += cost;
+        let epoch = self.epoch;
+        self.emit(|| TraceEvent::PageFault {
+            epoch,
+            vbase: fault.mapping.vbase.0,
+            size: fault.mapping.size,
+            node: fault.mapping.node.0,
+            thread: thread as u16,
+        });
         fault.mapping
     }
 
@@ -198,9 +226,17 @@ impl<'m> SimState<'m> {
         let mut migrations = 0;
         let mut splits = 0;
         let mut cost: u64 = 0;
+        let epoch = self.epoch;
         for a in actions {
             match a {
-                PolicyAction::SetThpAlloc(b) => self.space.thp_mut().alloc_2m = b,
+                PolicyAction::SetThpAlloc(b) => {
+                    self.space.thp_mut().alloc_2m = b;
+                    self.emit(|| TraceEvent::ThpToggle {
+                        epoch,
+                        knob: "alloc",
+                        on: b,
+                    });
+                }
                 PolicyAction::SetThpPromote(b) => {
                     self.space.thp_mut().promote_2m = b;
                     if b {
@@ -208,6 +244,11 @@ impl<'m> SimState<'m> {
                         // left by earlier policy splits.
                         self.space.clear_promote_inhibitions();
                     }
+                    self.emit(|| TraceEvent::ThpToggle {
+                        epoch,
+                        knob: "promote",
+                        on: b,
+                    });
                 }
                 PolicyAction::Split(v) => {
                     if self.faults.check_busy(v) {
@@ -223,6 +264,13 @@ impl<'m> SimState<'m> {
                             self.shootdown(old.vbase, old.size);
                             splits += 1;
                             cost += c;
+                            self.emit(|| TraceEvent::Split {
+                                epoch,
+                                vbase: old.vbase.0,
+                                size: old.size,
+                                scatter: false,
+                                scattered: 0,
+                            });
                         }
                         Err(e) => {
                             self.robust.failed_splits += 1;
@@ -255,6 +303,7 @@ impl<'m> SimState<'m> {
                             // invariant: split() only succeeds on huge
                             // mappings, and every huge size has a smaller.
                             let small = old.size.smaller().expect("huge page splits");
+                            let mut moved: u64 = 0;
                             for i in 0..children {
                                 let sub = VirtAddr(old.vbase.0 + i * small.bytes());
                                 // Deterministic hash spread: independent of
@@ -264,6 +313,7 @@ impl<'m> SimState<'m> {
                                     Ok((sold, _)) => {
                                         self.shootdown(sold.vbase, sold.size);
                                         migrations += 1;
+                                        moved += 1;
                                     }
                                     // Sub-page moves of a batched scatter are
                                     // best-effort (the page is already split):
@@ -271,6 +321,15 @@ impl<'m> SimState<'m> {
                                     Err(_) => self.robust.failed_migrations += 1,
                                 }
                             }
+                            // One event for the whole batched operation —
+                            // 512 child-move events would drown the trace.
+                            self.emit(|| TraceEvent::Split {
+                                epoch,
+                                vbase: old.vbase.0,
+                                size: old.size,
+                                scatter: true,
+                                scattered: moved,
+                            });
                         }
                         Err(e) => {
                             self.robust.failed_splits += 1;
@@ -290,6 +349,7 @@ impl<'m> SimState<'m> {
                                 }
                                 migrations += 1; // replica copies count as moves
                                 cost += c;
+                                self.emit(|| TraceEvent::Replication { epoch, vbase: v });
                             }
                         }
                         Err(e) => {
@@ -316,6 +376,13 @@ impl<'m> SimState<'m> {
                                 self.shootdown(old.vbase, old.size);
                                 migrations += 1;
                                 cost += c;
+                                self.emit(|| TraceEvent::Migration {
+                                    epoch,
+                                    vbase: old.vbase.0,
+                                    size: old.size,
+                                    from: old.node.0,
+                                    to: node.0,
+                                });
                             }
                         }
                         Err(e) => {
@@ -349,7 +416,20 @@ impl Simulation {
         config: &SimConfig,
         policy: &mut dyn NumaPolicy,
     ) -> SimResult {
-        Simulation::run_with_setup(machine, spec, config, policy, |_| {})
+        Simulation::run_with_setup_traced(machine, spec, config, policy, |_| {}, None)
+    }
+
+    /// Like [`Simulation::run`], but streams every simulation event into
+    /// `sink`. Tracing is purely observational: the returned [`SimResult`]
+    /// is bit-identical to an untraced run of the same inputs.
+    pub fn run_traced(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        sink: &mut dyn TraceSink,
+    ) -> SimResult {
+        Simulation::run_with_setup_traced(machine, spec, config, policy, |_| {}, Some(sink))
     }
 
     /// Like [`Simulation::run`], but calls `setup` on the freshly built
@@ -361,6 +441,20 @@ impl Simulation {
         config: &SimConfig,
         policy: &mut dyn NumaPolicy,
         setup: impl FnOnce(&mut AddressSpace),
+    ) -> SimResult {
+        Simulation::run_with_setup_traced(machine, spec, config, policy, setup, None)
+    }
+
+    /// The full-featured entry point: optional address-space `setup` and an
+    /// optional trace `sink` ([`Simulation::run`], [`Simulation::run_traced`]
+    /// and [`Simulation::run_with_setup`] all delegate here).
+    pub fn run_with_setup_traced(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        setup: impl FnOnce(&mut AddressSpace),
+        sink: Option<&mut dyn TraceSink>,
     ) -> SimResult {
         assert!(
             spec.threads <= machine.total_cores(),
@@ -397,7 +491,21 @@ impl Simulation {
             threads: spec.threads,
             faults: FaultPlan::new(&config.faults),
             robust: RobustnessStats::default(),
+            trace: sink,
+            epoch: 0,
         };
+        // A policy that never reads samples (and no fault filter to feed)
+        // makes sample storage dead work: elide it. The NMI count and its
+        // overhead are unchanged, so results are bit-identical.
+        if !policy.consumes_samples() && !st.faults.is_active() {
+            st.sampler.set_store(false);
+        }
+        st.emit(|| TraceEvent::RunStart {
+            workload: spec.name.clone(),
+            policy: policy.name().to_string(),
+            machine: machine.name().to_string(),
+            seed: config.seed,
+        });
         {
             // Pins expire and pressure events apply at epoch boundaries;
             // epoch 0 covers a pressure event scheduled before the run.
@@ -477,6 +585,14 @@ impl Simulation {
                 for t in &mut st.tlbs {
                     t.flush();
                 }
+                if st.trace.is_some() {
+                    for &vbase in &collapsed {
+                        st.emit(|| TraceEvent::Promotion {
+                            epoch: epoch_index,
+                            vbase: vbase.0,
+                        });
+                    }
+                }
             }
 
             let controller_requests = st.mem.controller_epoch_requests();
@@ -506,11 +622,29 @@ impl Simulation {
             if st.faults.is_active() {
                 ctx.set_failures(&last_failures);
             }
+            if st.trace.is_some() {
+                ctx.enable_decision_log();
+            }
             policy.on_epoch(&mut ctx);
             let actions = ctx.take_actions();
+            for decision in ctx.take_decisions() {
+                st.emit(|| TraceEvent::Decision {
+                    epoch: epoch_index,
+                    decision,
+                });
+            }
             st.robust.retries += ctx.retries_recorded();
             let mut failures: Vec<FailedAction> = Vec::new();
             let (migrations, splits, action_cost) = st.apply_actions(actions, &mut failures);
+            if st.trace.is_some() {
+                for f in &failures {
+                    st.emit(|| TraceEvent::ActionFailed {
+                        epoch: epoch_index,
+                        action: f.action,
+                        error: f.error,
+                    });
+                }
+            }
 
             // Kernel-side work (daemon scans, sampling NMIs, migrations)
             // executes on the same cores as the application; spread across
@@ -521,6 +655,33 @@ impl Simulation {
             epoch_wall += overhead_share;
             overhead_total += overhead;
 
+            if st.trace.is_some() {
+                // Snapshot before end_epoch resets the per-epoch
+                // controller counters: the delays shown are the ones that
+                // were actually charged during this epoch.
+                let snaps = st.mem.controller_snapshots();
+                let snap = EpochSnap {
+                    epoch_cycles: epoch_wall,
+                    imbalance: metrics::imbalance(&counters.controller_requests),
+                    lar: mem_stats.lar(),
+                    walk_miss_fraction: counters.walk_miss_fraction(),
+                    l2_misses: counters.l2_misses,
+                    l2_walk_misses: counters.l2_walk_misses,
+                    max_fault_cycles: st.fault_epoch.iter().copied().max().unwrap_or(0),
+                    controller_requests: snaps.iter().map(|s| s.requests).collect(),
+                    controller_delays: snaps.iter().map(|s| s.queue_delay).collect(),
+                    migrations,
+                    splits,
+                    collapses: collapsed.len() as u64,
+                    failed_actions: failures.len() as u64,
+                    thp_alloc: st.space.thp().alloc_2m,
+                    thp_promote: st.space.thp().promote_2m,
+                };
+                st.emit(|| TraceEvent::EpochEnd {
+                    epoch: epoch_index,
+                    snap,
+                });
+            }
             st.mem.end_epoch(epoch_wall);
             epochs.push(EpochRecord {
                 counters,
@@ -537,6 +698,7 @@ impl Simulation {
             epoch_wall = 0;
             epoch_ops = 0;
             epoch_index += 1;
+            st.epoch = epoch_index;
             {
                 let SimState { faults, space, .. } = &mut st;
                 faults.begin_epoch(epoch_index, space);
@@ -616,6 +778,10 @@ impl Simulation {
         st.robust.dropped_samples = fc.dropped_samples;
         st.robust.misattributed_samples = fc.misattributed_samples;
         st.robust.oom_reclaims = fc.oom_reclaims;
+
+        if let Some(t) = st.trace.as_mut() {
+            t.finish();
+        }
 
         SimResult {
             workload: spec.name.clone(),

@@ -266,3 +266,35 @@ fn seeds_change_results_but_not_structure() {
     assert_eq!(a.lifetime.total_ops, b.lifetime.total_ops);
     assert_eq!(a.epochs.len(), b.epochs.len());
 }
+
+/// [`NullPolicy`] with the sample-storage elision disabled: identical
+/// behaviour, but reports that it consumes samples so the engine files
+/// every IBS sample as it would for a real policy.
+struct NullButStoring;
+
+impl NumaPolicy for NullButStoring {
+    fn name(&self) -> &str {
+        "linux"
+    }
+    fn on_epoch(&mut self, _ctx: &mut EpochCtx<'_>) {}
+}
+
+#[test]
+fn skipping_sample_storage_under_null_policy_changes_nothing() {
+    // The engine elides IBS sample *storage* when the policy never reads
+    // samples (`consumes_samples() == false`, as for plain Linux / THP
+    // runs). The elision must be invisible: sampling overhead is still
+    // charged and every statistic the run reports is bit-identical.
+    let machine = MachineSpec::machine_a();
+    let spec = basic_spec(machine.total_cores());
+    for thp in [ThpControls::small_only(), ThpControls::thp()] {
+        let config = SimConfig::for_machine(&machine, thp);
+        let skipping = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        let storing = Simulation::run(&machine, &spec, &config, &mut NullButStoring);
+        assert_eq!(skipping, storing, "elision must be observationally pure");
+        assert!(
+            skipping.lifetime.ibs_samples > 0,
+            "sample taking (and its overhead) still happens"
+        );
+    }
+}

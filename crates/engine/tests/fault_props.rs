@@ -5,7 +5,8 @@
 //! consistently in [`engine::RobustnessStats`].
 
 use engine::{
-    EpochCtx, FaultConfig, MemoryPressure, NullPolicy, NumaPolicy, SimConfig, SimResult, Simulation,
+    DigestSink, EpochCtx, FaultConfig, MemoryPressure, NullPolicy, NumaPolicy, SimConfig,
+    SimResult, Simulation, TraceDigest,
 };
 use numa_topology::{MachineSpec, NodeId};
 use proptest::prelude::*;
@@ -72,6 +73,20 @@ fn run_validated(
     Simulation::run(machine, spec, &config, policy)
 }
 
+fn run_digested(
+    machine: &MachineSpec,
+    spec: &WorkloadSpec,
+    faults: FaultConfig,
+    policy: &mut dyn NumaPolicy,
+) -> (SimResult, TraceDigest) {
+    let mut config = SimConfig::for_machine(machine, ThpControls::thp());
+    config.faults = faults;
+    config.validate_each_epoch = true;
+    let mut sink = DigestSink::new();
+    let result = Simulation::run_traced(machine, spec, &config, policy, &mut sink);
+    (result, sink.into_digest())
+}
+
 proptest! {
     /// Random rates, seeds, and workload shapes: the run completes, the
     /// vmem invariant walker stays green each epoch, and the injected
@@ -135,5 +150,30 @@ proptest! {
         let b = run_validated(&machine, &spec, faults, &mut Churn);
         prop_assert_eq!(a.runtime_cycles, b.runtime_cycles);
         prop_assert_eq!(a.robustness, b.robustness);
+    }
+
+    /// Full bit-level determinism, with the observability layer on: the
+    /// same seed and config — including a nonzero fault plan — give a
+    /// bit-identical [`SimResult`] *and* a bit-identical trace digest
+    /// across two runs, and tracing itself never perturbs the result
+    /// (the traced result equals the untraced one).
+    #[test]
+    fn equal_seeds_give_identical_results_and_trace_digests(
+        seed in 0u64..=u64::MAX,
+        rate in 0.01f64..0.5,
+        pattern in [AccessPattern::PrivateSlices, AccessPattern::SharedUniform].as_slice(),
+    ) {
+        let machine = MachineSpec::test_machine();
+        let spec = small_spec(&machine, 4 << 20, pattern);
+        let faults = FaultConfig::uniform(seed, rate);
+        let (ra, da) = run_digested(&machine, &spec, faults.clone(), &mut Churn);
+        let (rb, db) = run_digested(&machine, &spec, faults.clone(), &mut Churn);
+        prop_assert_eq!(&ra, &rb);
+        prop_assert!(da.diff(&db).is_none(), "trace digests diverged: {:?}", da.diff(&db));
+        prop_assert_eq!(da, db);
+        // The sink is a pure observer: an untraced run lands on the
+        // same result bit for bit.
+        let untraced = run_validated(&machine, &spec, faults, &mut Churn);
+        prop_assert_eq!(ra, untraced);
     }
 }

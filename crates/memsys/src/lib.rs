@@ -48,4 +48,4 @@ pub use config::{CacheGeometry, MemSysConfig};
 pub use controller::MemoryController;
 pub use hierarchy::{CacheHierarchy, ServiceLevel};
 pub use links::LinkTraffic;
-pub use system::{AccessKind, AccessOutcome, MemorySystem};
+pub use system::{AccessKind, AccessOutcome, ControllerSnap, MemorySystem};

@@ -78,6 +78,15 @@ impl MemEpochStats {
     }
 }
 
+/// One controller's view at an epoch boundary, for observability.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerSnap {
+    /// Requests serviced during the epoch.
+    pub requests: u64,
+    /// Queueing delay currently charged per request, in cycles.
+    pub queue_delay: u32,
+}
+
 /// The complete memory system of one simulated machine.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct MemorySystem {
@@ -256,6 +265,20 @@ impl MemorySystem {
         self.controllers
             .iter()
             .map(MemoryController::current_delay)
+            .collect()
+    }
+
+    /// Joint per-controller observability snapshot of the still-open
+    /// epoch: requests serviced so far plus the queueing delay currently
+    /// charged (derived from the *previous* epoch's utilization). The
+    /// trace layer emits this with every epoch-end event.
+    pub fn controller_snapshots(&self) -> Vec<ControllerSnap> {
+        self.controllers
+            .iter()
+            .map(|c| ControllerSnap {
+                requests: c.epoch_requests(),
+                queue_delay: c.current_delay(),
+            })
             .collect()
     }
 

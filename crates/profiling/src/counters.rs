@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Page-fault time attribution for one core.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoreFaultTime {
     /// Cycles this core spent in the page-fault handler this epoch.
     pub fault_cycles: u64,
@@ -11,7 +11,7 @@ pub struct CoreFaultTime {
 
 /// One epoch's worth of hardware counters, as a policy would read them from
 /// the PMU at the end of its monitoring interval (Algorithm 1 line 3).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EpochCounters {
     /// Length of the epoch in cycles.
     pub epoch_cycles: u64,

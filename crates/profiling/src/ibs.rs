@@ -79,6 +79,7 @@ pub struct IbsSampler {
     stores: Vec<Vec<IbsSample>>,
     taken: u64,
     overhead_cycles: u64,
+    store: bool,
 }
 
 impl IbsSampler {
@@ -90,7 +91,17 @@ impl IbsSampler {
             stores: vec![Vec::new(); num_nodes],
             taken: 0,
             overhead_cycles: 0,
+            store: true,
         }
+    }
+
+    /// Enables or disables sample *storage*. The NMI still fires — `taken`
+    /// and the per-sample overhead are unchanged, since the hardware does
+    /// not know nobody will read the buffer — but samples are not built or
+    /// filed. For runs whose policy never reads samples, this elides the
+    /// profiling bookkeeping without perturbing any timing.
+    pub fn set_store(&mut self, store: bool) {
+        self.store = store;
     }
 
     /// Observes one memory access; returns `true` if it was sampled.
@@ -104,10 +115,12 @@ impl IbsSampler {
             return false;
         }
         self.countdown = self.config.period;
-        let s = make_sample();
         self.taken += 1;
         self.overhead_cycles += self.config.sample_overhead_cycles;
-        self.stores[s.accessing_node.index()].push(s);
+        if self.store {
+            let s = make_sample();
+            self.stores[s.accessing_node.index()].push(s);
+        }
         true
     }
 
@@ -222,6 +235,27 @@ mod tests {
         assert_eq!(s.page_4k(), 0x20_1000);
         assert_eq!(s.page_base(), 0x20_0000);
         assert!(!s.local());
+    }
+
+    #[test]
+    fn storage_off_keeps_counts_and_overhead_but_files_nothing() {
+        let config = IbsConfig {
+            period: 2,
+            sample_overhead_cycles: 100,
+        };
+        let mut on = IbsSampler::new(2, config);
+        let mut off = IbsSampler::new(2, config);
+        off.set_store(false);
+        for i in 0..10 {
+            on.observe(|| sample_at(i * 64, 0));
+            off.observe(|| panic!("must not build samples with storage off"));
+        }
+        assert_eq!(on.total_taken(), off.total_taken());
+        let (s_on, o_on) = on.drain();
+        let (s_off, o_off) = off.drain();
+        assert_eq!(o_on, o_off, "overhead identical either way");
+        assert_eq!(s_on.len(), 5);
+        assert!(s_off.is_empty());
     }
 
     #[test]

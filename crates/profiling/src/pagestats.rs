@@ -124,6 +124,62 @@ mod tests {
     }
 
     #[test]
+    fn aggregate_preserves_totals_for_any_container_map() {
+        let mut s = PageAccessStats::new();
+        for i in 0..100u64 {
+            // Skewed: page i gets i accesses from thread (i % 4).
+            for _ in 0..i {
+                s.record(VirtAddr(i * 0x1000), (i % 4) as u16);
+            }
+        }
+        let expected: u64 = (0..100).sum();
+        assert_eq!(s.total(), expected);
+        for container in [
+            |b: u64| b,                    // identity (4 KiB)
+            |b: u64| b & !(0x20_0000 - 1), // 2 MiB
+            |_: u64| 0,                    // everything in one bucket
+        ] {
+            let rows = s.aggregate(container);
+            let sum: u64 = rows.iter().map(|&(_, c, _)| c).sum();
+            assert_eq!(sum, expected, "aggregation must conserve accesses");
+        }
+    }
+
+    #[test]
+    fn hottest_container_ranking_survives_aggregation() {
+        let mut s = PageAccessStats::new();
+        // Hot 2 MiB region: 64 accesses spread over its 4 KiB pages.
+        for i in 0..64u64 {
+            s.record(VirtAddr(0x20_0000 + (i % 8) * 0x1000), 0);
+        }
+        // Cold region: 3 accesses on one page.
+        for _ in 0..3 {
+            s.record(VirtAddr(0x60_0000), 1);
+        }
+        let rows = s.aggregate(|b| b & !(0x20_0000 - 1));
+        let hottest = rows.iter().max_by_key(|&&(_, c, _)| c).unwrap();
+        assert_eq!(hottest.0, 0x20_0000);
+        assert_eq!(hottest.1, 64);
+        // Per-4KiB view keeps the heat split 8 ways.
+        let fine = s.aggregate(|b| b);
+        assert!(fine
+            .iter()
+            .filter(|&&(b, _, _)| (0x20_0000..0x40_0000).contains(&b))
+            .all(|&(_, c, _)| c == 8));
+    }
+
+    #[test]
+    fn thread_masks_union_under_aggregation() {
+        let mut s = PageAccessStats::new();
+        s.record(VirtAddr(0x20_0000), 0);
+        s.record(VirtAddr(0x20_1000), 1);
+        s.record(VirtAddr(0x20_2000), 2);
+        let rows = s.aggregate(|b| b & !(0x20_0000 - 1));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].2, 0b111, "container mask is the union");
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let mut s = PageAccessStats::new();
         s.record(VirtAddr(0x1000), 0);

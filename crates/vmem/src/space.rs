@@ -121,7 +121,7 @@ impl Default for VmemConfig {
 }
 
 /// Lifetime statistics of one address space.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VmemStats {
     /// Demand faults that installed a 4 KiB page.
     pub faults_4k: u64,

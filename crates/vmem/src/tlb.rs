@@ -387,6 +387,82 @@ mod tests {
     }
 
     #[test]
+    fn l1_reach_is_exactly_its_entry_count() {
+        // The full-size 4 KiB L1 is 48 entries, fully associative with
+        // LRU: a cyclic stream over exactly 48 pages fits (all L1 hits
+        // once warm), while 49 pages thrash the L1 on every access and
+        // fall through to the unified L2.
+        let cfg = TlbConfig::default();
+        let mut t = Tlb::new(&cfg);
+        for i in 0..48u64 {
+            t.insert(map(i * PAGE_4K, PageSize::Size4K));
+        }
+        for round in 0..3 {
+            for i in 0..48u64 {
+                assert!(
+                    matches!(t.lookup(VirtAddr(i * PAGE_4K)), TlbLookup::HitL1(_)),
+                    "round {round} page {i}"
+                );
+            }
+        }
+
+        let mut t = Tlb::new(&cfg);
+        for i in 0..49u64 {
+            t.insert(map(i * PAGE_4K, PageSize::Size4K));
+        }
+        let before = t.stats().l1_hits;
+        for i in 0..49u64 {
+            // One more page than the L1 holds: cyclic LRU evicts each
+            // page just before its reuse, so nothing ever hits L1.
+            assert!(matches!(
+                t.lookup(VirtAddr(i * PAGE_4K)),
+                TlbLookup::HitL2(_)
+            ));
+        }
+        assert_eq!(t.stats().l1_hits, before);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_entry() {
+        // 2-entry fully-associative L1: touching A makes B the LRU
+        // victim when C arrives, so A stays in L1 and B survives only
+        // in the L2.
+        let mut t = Tlb::new(&tiny_config());
+        t.insert(map(0x1000, PageSize::Size4K)); // A
+        t.insert(map(0x2000, PageSize::Size4K)); // B
+        assert!(matches!(t.lookup(VirtAddr(0x1000)), TlbLookup::HitL1(_)));
+        t.insert(map(0x3000, PageSize::Size4K)); // C evicts B
+        assert!(matches!(t.lookup(VirtAddr(0x1000)), TlbLookup::HitL1(_)));
+        assert!(matches!(t.lookup(VirtAddr(0x3000)), TlbLookup::HitL1(_)));
+        assert!(matches!(t.lookup(VirtAddr(0x2000)), TlbLookup::HitL2(_)));
+    }
+
+    #[test]
+    fn reinserting_same_page_does_not_consume_capacity() {
+        let mut t = Tlb::new(&tiny_config());
+        t.insert(map(0x1000, PageSize::Size4K));
+        t.insert(map(0x1000, PageSize::Size4K));
+        t.insert(map(0x2000, PageSize::Size4K));
+        // Both still fit in the 2-entry L1: the duplicate insert
+        // replaced rather than duplicated.
+        assert!(matches!(t.lookup(VirtAddr(0x1000)), TlbLookup::HitL1(_)));
+        assert!(matches!(t.lookup(VirtAddr(0x2000)), TlbLookup::HitL1(_)));
+    }
+
+    #[test]
+    fn l2_keys_disambiguate_size_classes() {
+        // A 4 KiB entry at vaddr 0 must not be confused with a 2 MiB
+        // entry at vaddr 0: invalidating one size class leaves the
+        // other's translation intact.
+        let mut t = Tlb::new(&TlbConfig::default());
+        t.insert(map(0, PageSize::Size4K));
+        t.invalidate(VirtAddr(0), PageSize::Size2M);
+        assert!(matches!(t.lookup(VirtAddr(0)), TlbLookup::HitL1(_)));
+        t.invalidate(VirtAddr(0), PageSize::Size4K);
+        assert!(matches!(t.lookup(VirtAddr(0)), TlbLookup::Miss));
+    }
+
+    #[test]
     fn scaled_config_shrinks_but_stays_positive() {
         let c = TlbConfig::scaled_default(64);
         assert!(c.l1_4k_entries >= 2);

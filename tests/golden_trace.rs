@@ -1,0 +1,37 @@
+//! Golden-run regression test.
+//!
+//! Recomputes the trace digest of every pinned golden cell (see
+//! `carrefour_bench::golden::GOLDEN_CELLS`) and diffs it against the
+//! checked-in copy in `tests/golden/`. Any behavioural drift in the
+//! simulator — an extra migration, a split shifted by an epoch, a
+//! changed counter value — changes an epoch's rolling hash and fails
+//! this test with a report naming the first divergent epoch.
+//!
+//! If the change is intentional, re-bless with
+//! `cargo run --release --bin trace -- --bless` (policy in DESIGN.md §9).
+//! On failure the reports are also written to
+//! `results/golden_divergence.txt` so CI can upload them as an artifact.
+
+use carrefour_bench::golden::{golden_dir, verify};
+
+#[test]
+fn golden_traces_match_checked_in_digests() {
+    let dir = golden_dir();
+    let reports = verify(&dir);
+    if reports.is_empty() {
+        return;
+    }
+    let body = reports.join("\n\n");
+    // Best-effort artifact for CI; the assert below carries the report
+    // regardless.
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/golden_divergence.txt", &body);
+    panic!(
+        "{} golden cell(s) diverged from {}:\n\n{}\n\n\
+         If this change is intentional, re-bless with\n\
+         `cargo run --release --bin trace -- --bless` (see DESIGN.md §9).",
+        reports.len(),
+        dir.display(),
+        body
+    );
+}
