@@ -1,27 +1,127 @@
-//! Runs every experiment binary's logic in sequence (convenience driver for
-//! regenerating EXPERIMENTS.md's data in one go).
+//! Runs every figure/table experiment in one process on the shared runner.
+//!
+//! All experiments' cells are collected up front, **deduplicated** across
+//! experiments (many figures share their Linux-4K baselines; the simulator
+//! is deterministic, so one run serves them all), executed on the worker
+//! pool (`--jobs N` / `CARREFOUR_JOBS` / host cores), and then rendered in
+//! the traditional per-experiment order. Per-cell and total wall-clock go
+//! to `results/BENCH_runner.json` — the repo's performance trajectory file
+//! (schema in DESIGN.md §10).
 
-use std::process::Command;
+use carrefour_bench::experiments;
+use carrefour_bench::runner::{self, Progress, TimedCell};
+use std::collections::HashMap;
 
 fn main() {
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("bin dir");
-    for name in [
-        "fig1",
-        "table1",
-        "fig2",
-        "table2",
-        "fig3",
-        "fig4",
-        "table3",
-        "fig5",
-        "overhead",
-        "verylarge",
-    ] {
-        println!("################ {name} ################");
-        let status = Command::new(dir.join(name))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-        assert!(status.success(), "{name} failed");
+    let jobs = runner::default_jobs();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let exps = experiments::all();
+
+    // Dedup identical cells across experiments: equal keys mean equal
+    // simulation inputs, and determinism means equal results.
+    let mut unique = Vec::new();
+    let mut key_to_slot: HashMap<String, usize> = HashMap::new();
+    let mut exp_slots: Vec<Vec<usize>> = Vec::with_capacity(exps.len());
+    for e in &exps {
+        let mut slots = Vec::with_capacity(e.specs.len());
+        for spec in &e.specs {
+            let slot = *key_to_slot.entry(spec.key()).or_insert_with(|| {
+                unique.push(spec.clone());
+                unique.len() - 1
+            });
+            slots.push(slot);
+        }
+        exp_slots.push(slots);
+    }
+    let submitted: usize = exps.iter().map(|e| e.specs.len()).sum();
+    eprintln!(
+        "[all] {} experiments, {} cells ({} unique), {} jobs on {} cores",
+        exps.len(),
+        submitted,
+        unique.len(),
+        jobs,
+        host_cores
+    );
+
+    let progress = Progress::new("all", unique.len());
+    let timed = runner::run_cells_timed(&unique, jobs, &progress);
+    let total_wall_secs = progress.finish();
+
+    for (e, slots) in exps.iter().zip(&exp_slots) {
+        println!("################ {} ################", e.name);
+        let cells: Vec<_> = slots.iter().map(|&i| timed[i].cell.clone()).collect();
+        (e.render)(&cells);
+    }
+
+    write_bench_runner_json(&exps, &exp_slots, &timed, jobs, host_cores, total_wall_secs);
+}
+
+/// Writes `results/BENCH_runner.json` (best effort, like `save_json`).
+/// The schema is documented in DESIGN.md §10.
+fn write_bench_runner_json(
+    exps: &[experiments::Experiment],
+    exp_slots: &[Vec<usize>],
+    timed: &[TimedCell],
+    jobs: usize,
+    host_cores: usize,
+    total_wall_secs: f64,
+) {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench-runner-v1\",\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!("  \"total_wall_secs\": {total_wall_secs:.3},\n"));
+    out.push_str(&format!("  \"unique_cells\": {},\n", timed.len()));
+    let submitted: usize = exp_slots.iter().map(Vec::len).sum();
+    out.push_str(&format!("  \"submitted_cells\": {submitted},\n"));
+    // Attribute each unique cell's cost to the first experiment that
+    // submitted it, so per-experiment seconds sum to the cell total.
+    let mut owner = vec![usize::MAX; timed.len()];
+    for (ei, slots) in exp_slots.iter().enumerate() {
+        for &s in slots {
+            if owner[s] == usize::MAX {
+                owner[s] = ei;
+            }
+        }
+    }
+    out.push_str("  \"experiments\": [\n");
+    for (i, (e, slots)) in exps.iter().zip(exp_slots).enumerate() {
+        // `.max(0.0)`: an experiment whose cells are all dedup'd away owns
+        // nothing, and f64's empty-sum identity is -0.0.
+        let owned_secs: f64 = owner
+            .iter()
+            .zip(timed)
+            .filter(|(&o, _)| o == i)
+            .map(|(_, t)| t.wall_secs)
+            .sum::<f64>()
+            .max(0.0);
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cells\": {}, \"wall_secs\": {:.3}}}{}\n",
+            esc(e.name),
+            slots.len(),
+            owned_secs,
+            if i + 1 < exps.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, t) in timed.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"machine\": \"{}\", \"benchmark\": \"{}\", \"policy\": \"{}\", \"wall_secs\": {:.3}}}{}\n",
+            esc(&t.cell.machine),
+            esc(&t.cell.benchmark),
+            esc(&t.cell.policy),
+            t.wall_secs,
+            if i + 1 < timed.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/BENCH_runner.json", &out).is_ok()
+    {
+        eprintln!("[all] wrote results/BENCH_runner.json");
     }
 }

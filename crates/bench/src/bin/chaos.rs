@@ -21,13 +21,16 @@
 //! decisions, and even sub-percent rates cost real performance. The
 //! section is reported as a finding, not a PASS/WARN gate.
 //!
+//! All cells go through the shared [`runner`]: the whole grid is
+//! submitted up front, fans out across `--jobs` workers with live
+//! progress, and comes back in deterministic submission order.
+//!
 //! [`FaultRates::corruption`]: engine::FaultRates::corruption
 
-use carrefour::CarrefourLp;
-use carrefour_bench::{save_json, Cell};
-use engine::{FaultConfig, NullPolicy, NumaPolicy, SimConfig, SimResult, Simulation};
+use carrefour_bench::runner::{self, CellSpec, Progress, Workload};
+use carrefour_bench::{save_json, Cell, PolicyKind};
+use engine::{FaultConfig, SimResult};
 use numa_topology::MachineSpec;
-use vmem::ThpControls;
 use workloads::Benchmark;
 
 /// Injected fault probabilities (0.0 first: each policy's own baseline).
@@ -45,36 +48,30 @@ const ENVELOPE: f64 = 0.05;
 /// Fault-plan RNG seed, fixed so the sweep is reproducible.
 const FAULT_SEED: u64 = 20140619;
 
-const POLICIES: [&str; 4] = [
-    "linux-4k",
-    "linux-thp",
-    "carrefour-lp",
-    "carrefour-lp-noretry",
+/// The sweep's policy matrix: short display name × policy kind.
+const POLICIES: [(&str, PolicyKind); 4] = [
+    ("linux-4k", PolicyKind::Linux4k),
+    ("linux-thp", PolicyKind::LinuxThp),
+    ("carrefour-lp", PolicyKind::CarrefourLp),
+    ("carrefour-lp-noretry", PolicyKind::CarrefourLpNoRetry),
 ];
 
-fn make_policy(name: &str) -> (Box<dyn NumaPolicy>, ThpControls) {
-    match name {
-        "linux-4k" => (Box::new(NullPolicy), ThpControls::small_only()),
-        "linux-thp" => (Box::new(NullPolicy), ThpControls::thp()),
-        "carrefour-lp" => (Box::new(CarrefourLp::new()), ThpControls::thp()),
-        "carrefour-lp-noretry" => (Box::new(CarrefourLp::without_retries()), ThpControls::thp()),
-        other => panic!("unknown policy {other}"),
-    }
-}
-
-fn run_one(
+/// One grid cell: the policy's short name at an operational fault rate.
+fn grid_spec(
     machine: &MachineSpec,
     bench: Benchmark,
-    policy: &str,
-    faults: FaultConfig,
-) -> SimResult {
-    let (mut p, thp) = make_policy(policy);
-    let mut config = SimConfig::for_machine(machine, thp);
-    config.faults = faults;
-    let spec = bench.spec(machine);
-    let mut r = Simulation::run(machine, &spec, &config, p.as_mut());
-    r.policy = policy.to_string();
-    r
+    name: &str,
+    kind: PolicyKind,
+    rate: f64,
+) -> CellSpec {
+    CellSpec {
+        machine: machine.clone(),
+        workload: Workload::Bench(bench),
+        kind,
+        seed: None,
+        faults: Some(FaultConfig::uniform(FAULT_SEED, rate)),
+        label: Some(format!("{name}@{rate}")),
+    }
 }
 
 /// Runtime of (policy, rate) from the result grid.
@@ -89,47 +86,58 @@ fn runtime(results: &[(String, f64, SimResult)], policy: &str, rate: f64) -> u64
 fn main() {
     let machine = MachineSpec::machine_a();
     let benches = [Benchmark::UaB, Benchmark::CgD];
+    let jobs = runner::default_jobs();
     let mut all_cells: Vec<Cell> = Vec::new();
     let mut warnings = 0u32;
 
+    // Submit the full grid — operational sweep plus corruption mini-sweep
+    // for every benchmark — as one batch so the pool stays saturated.
+    let mut specs: Vec<CellSpec> = Vec::new();
     for &bench in &benches {
+        for &(name, kind) in &POLICIES {
+            for &r in &RATES {
+                specs.push(grid_spec(&machine, bench, name, kind, r));
+            }
+        }
+        for &r in &CORRUPTION_RATES {
+            specs.push(CellSpec {
+                machine: machine.clone(),
+                workload: Workload::Bench(bench),
+                kind: PolicyKind::CarrefourLp,
+                seed: None,
+                faults: Some(FaultConfig::corruption(FAULT_SEED, r)),
+                label: Some(format!("carrefour-lp@corruption-{r}")),
+            });
+        }
+    }
+    let progress = Progress::new("chaos", specs.len());
+    let cells = runner::run_cells(&specs, jobs, &progress);
+    progress.finish();
+
+    let grid_len = POLICIES.len() * RATES.len();
+    let per_bench = grid_len + CORRUPTION_RATES.len();
+    for (bi, &bench) in benches.iter().enumerate() {
+        let block = &cells[bi * per_bench..(bi + 1) * per_bench];
         println!(
             "== Chaos sweep ({}, {}) : slowdown vs own fault-free run ==",
             machine.name(),
             bench.name()
         );
 
-        // Fan the grid out across host cores; each cell is deterministic.
-        let mut jobs: Vec<(String, f64)> = Vec::new();
-        for &p in &POLICIES {
-            for &r in &RATES {
-                jobs.push((p.to_string(), r));
+        let mut results: Vec<(String, f64, SimResult)> = Vec::with_capacity(grid_len);
+        for (pi, &(name, _)) in POLICIES.iter().enumerate() {
+            for (ri, &r) in RATES.iter().enumerate() {
+                let cell = &block[pi * RATES.len() + ri];
+                results.push((name.to_string(), r, cell.result.clone()));
             }
         }
-        let results: Vec<(String, f64, SimResult)> = std::thread::scope(|s| {
-            let handles: Vec<_> = jobs
-                .iter()
-                .map(|(p, r)| {
-                    let (p, r) = (p.clone(), *r);
-                    let machine = &machine;
-                    s.spawn(move || {
-                        let res = run_one(machine, bench, &p, FaultConfig::uniform(FAULT_SEED, r));
-                        (p, r, res)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sim panicked"))
-                .collect()
-        });
 
         print!("{:<22}", "policy");
         for &r in &RATES {
             print!(" {:>9}", format!("rate {r}"));
         }
         println!();
-        for &p in &POLICIES {
+        for &(p, _) in &POLICIES {
             let base = runtime(&results, p, 0.0) as f64;
             print!("{p:<22}");
             for &r in &RATES {
@@ -232,23 +240,8 @@ fn main() {
         // irreversible, so even sub-percent corruption costs performance
         // that no amount of retrying wins back.
         let lp_base = runtime(&results, "carrefour-lp", 0.0) as f64;
-        let corrupted: Vec<(f64, SimResult)> = std::thread::scope(|s| {
-            let handles: Vec<_> = CORRUPTION_RATES
-                .iter()
-                .map(|&r| {
-                    let machine = &machine;
-                    s.spawn(move || {
-                        let faults = FaultConfig::corruption(FAULT_SEED, r);
-                        (r, run_one(machine, bench, "carrefour-lp", faults))
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sim panicked"))
-                .collect()
-        });
-        for (r, res) in &corrupted {
+        for (ci, &r) in CORRUPTION_RATES.iter().enumerate() {
+            let res = &block[grid_len + ci].result;
             println!(
                 "FINDING corruption @ rate {r}: slowdown {:.3} \
                  ({} misattributed samples)",
@@ -256,23 +249,8 @@ fn main() {
                 res.robustness.misattributed_samples,
             );
         }
-        for (r, res) in corrupted {
-            all_cells.push(Cell {
-                machine: machine.name().to_string(),
-                benchmark: bench.name().to_string(),
-                policy: format!("carrefour-lp@corruption-{r}"),
-                result: res,
-            });
-        }
 
-        for (p, r, res) in results {
-            all_cells.push(Cell {
-                machine: machine.name().to_string(),
-                benchmark: bench.name().to_string(),
-                policy: format!("{p}@{r}"),
-                result: res,
-            });
-        }
+        all_cells.extend(block.iter().cloned());
         println!();
     }
 

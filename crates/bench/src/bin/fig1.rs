@@ -1,27 +1,5 @@
 //! Figure 1: THP performance improvement over default Linux, machines A & B.
 
-use carrefour_bench::{improvement, machines, run_matrix, save_json, PolicyKind};
-use workloads::Benchmark;
-
 fn main() {
-    let policies = [PolicyKind::Linux4k, PolicyKind::LinuxThp];
-    let benches: Vec<Benchmark> = Benchmark::all()
-        .iter()
-        .copied()
-        .filter(|b| *b != Benchmark::Streamcluster)
-        .collect();
-
-    for machine in machines() {
-        println!(
-            "== Figure 1 ({}) : THP improvement over Linux ==",
-            machine.name()
-        );
-        let cells = run_matrix(&machine, &benches, &policies);
-        for &b in &benches {
-            let imp = improvement(&cells, b, PolicyKind::LinuxThp, PolicyKind::Linux4k);
-            println!("{:<16} {:>8.1}", b.name(), imp);
-        }
-        save_json(&format!("fig1_{}", machine.name()), &cells);
-        println!();
-    }
+    carrefour_bench::experiments::run_standalone("fig1");
 }

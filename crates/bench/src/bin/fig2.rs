@@ -1,28 +1,5 @@
 //! Figure 2: Carrefour-2M vs THP over Linux, NUMA-affected benchmarks.
 
-use carrefour_bench::{improvement, machines, run_matrix, save_json, PolicyKind};
-use workloads::Benchmark;
-
 fn main() {
-    let policies = [
-        PolicyKind::Linux4k,
-        PolicyKind::LinuxThp,
-        PolicyKind::Carrefour2m,
-    ];
-    let benches = Benchmark::numa_affected();
-    for machine in machines() {
-        println!(
-            "== Figure 2 ({}) : improvement over Linux ==",
-            machine.name()
-        );
-        println!("{:<16} {:>8} {:>14}", "bench", "THP", "Carrefour-2M");
-        let cells = run_matrix(&machine, benches, &policies);
-        for &b in benches {
-            let thp = improvement(&cells, b, PolicyKind::LinuxThp, PolicyKind::Linux4k);
-            let c2m = improvement(&cells, b, PolicyKind::Carrefour2m, PolicyKind::Linux4k);
-            println!("{:<16} {:>8.1} {:>14.1}", b.name(), thp, c2m);
-        }
-        save_json(&format!("fig2_{}", machine.name()), &cells);
-        println!();
-    }
+    carrefour_bench::experiments::run_standalone("fig2");
 }

@@ -1,28 +1,5 @@
 //! Figure 3: Carrefour-LP vs THP over Linux, NUMA-affected benchmarks.
 
-use carrefour_bench::{improvement, machines, run_matrix, save_json, PolicyKind};
-use workloads::Benchmark;
-
 fn main() {
-    let policies = [
-        PolicyKind::Linux4k,
-        PolicyKind::LinuxThp,
-        PolicyKind::CarrefourLp,
-    ];
-    let benches = Benchmark::numa_affected();
-    for machine in machines() {
-        println!(
-            "== Figure 3 ({}) : improvement over Linux ==",
-            machine.name()
-        );
-        println!("{:<16} {:>8} {:>14}", "bench", "THP", "Carrefour-LP");
-        let cells = run_matrix(&machine, benches, &policies);
-        for &b in benches {
-            let thp = improvement(&cells, b, PolicyKind::LinuxThp, PolicyKind::Linux4k);
-            let lp = improvement(&cells, b, PolicyKind::CarrefourLp, PolicyKind::Linux4k);
-            println!("{:<16} {:>8.1} {:>14.1}", b.name(), thp, lp);
-        }
-        save_json(&format!("fig3_{}", machine.name()), &cells);
-        println!();
-    }
+    carrefour_bench::experiments::run_standalone("fig3");
 }

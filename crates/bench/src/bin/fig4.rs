@@ -1,43 +1,6 @@
 //! Figure 4: component breakdown (Carrefour-2M / Conservative / Reactive /
 //! Carrefour-LP) over Linux, NUMA-affected benchmarks.
 
-use carrefour_bench::{improvement, machines, run_matrix, save_json, PolicyKind};
-use workloads::Benchmark;
-
 fn main() {
-    let policies = [
-        PolicyKind::Linux4k,
-        PolicyKind::Carrefour2m,
-        PolicyKind::ConservativeOnly,
-        PolicyKind::ReactiveOnly,
-        PolicyKind::CarrefourLp,
-    ];
-    let benches = Benchmark::numa_affected();
-    for machine in machines() {
-        println!(
-            "== Figure 4 ({}) : improvement over Linux ==",
-            machine.name()
-        );
-        println!(
-            "{:<16} {:>13} {:>13} {:>9} {:>13}",
-            "bench", "Carrefour-2M", "Conservative", "Reactive", "Carrefour-LP"
-        );
-        let cells = run_matrix(&machine, benches, &policies);
-        for &b in benches {
-            let c2m = improvement(&cells, b, PolicyKind::Carrefour2m, PolicyKind::Linux4k);
-            let cons = improvement(&cells, b, PolicyKind::ConservativeOnly, PolicyKind::Linux4k);
-            let reac = improvement(&cells, b, PolicyKind::ReactiveOnly, PolicyKind::Linux4k);
-            let lp = improvement(&cells, b, PolicyKind::CarrefourLp, PolicyKind::Linux4k);
-            println!(
-                "{:<16} {:>13.1} {:>13.1} {:>9.1} {:>13.1}",
-                b.name(),
-                c2m,
-                cons,
-                reac,
-                lp
-            );
-        }
-        save_json(&format!("fig4_{}", machine.name()), &cells);
-        println!();
-    }
+    carrefour_bench::experiments::run_standalone("fig4");
 }

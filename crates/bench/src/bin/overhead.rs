@@ -6,76 +6,6 @@
 //! < 3 % except for a few migration-heavy cases inherited from
 //! Carrefour-2M.
 
-use carrefour_bench::{machines, run_matrix, save_json, Cell, PolicyKind};
-use workloads::Benchmark;
-
-/// Percent by which `a` is slower than `b` (positive = overhead).
-fn slowdown(cells: &[Cell], bench: Benchmark, a: PolicyKind, b: PolicyKind) -> f64 {
-    let find = |p: PolicyKind| {
-        cells
-            .iter()
-            .find(|c| c.benchmark == bench.name() && c.policy == p.label())
-            .expect("cell")
-    };
-    (find(a).result.runtime_cycles as f64 / find(b).result.runtime_cycles as f64 - 1.0) * 100.0
-}
-
 fn main() {
-    let policies = [
-        PolicyKind::Linux4k,
-        PolicyKind::Carrefour2m,
-        PolicyKind::ReactiveOnly,
-        PolicyKind::CarrefourLp,
-    ];
-    let benches: Vec<Benchmark> = Benchmark::all()
-        .iter()
-        .copied()
-        .filter(|b| *b != Benchmark::Streamcluster)
-        .collect();
-
-    for machine in machines() {
-        println!(
-            "== Overhead of Carrefour-LP ({}) : positive = slower ==",
-            machine.name()
-        );
-        println!(
-            "{:<16} {:>13} {:>16} {:>12}",
-            "bench", "vs Reactive", "vs Carrefour-2M", "vs Linux"
-        );
-        let cells = run_matrix(&machine, &benches, &policies);
-        let mut worst: [f64; 3] = [f64::MIN; 3];
-        let mut sums: [f64; 3] = [0.0; 3];
-        for &b in &benches {
-            let v = [
-                slowdown(&cells, b, PolicyKind::CarrefourLp, PolicyKind::ReactiveOnly),
-                slowdown(&cells, b, PolicyKind::CarrefourLp, PolicyKind::Carrefour2m),
-                slowdown(&cells, b, PolicyKind::CarrefourLp, PolicyKind::Linux4k),
-            ];
-            for i in 0..3 {
-                worst[i] = worst[i].max(v[i]);
-                sums[i] += v[i];
-            }
-            println!(
-                "{:<16} {:>13.1} {:>16.1} {:>12.1}",
-                b.name(),
-                v[0],
-                v[1],
-                v[2]
-            );
-        }
-        let n = benches.len() as f64;
-        println!(
-            "{:<16} {:>13.1} {:>16.1} {:>12.1}   (worst)",
-            "--", worst[0], worst[1], worst[2]
-        );
-        println!(
-            "{:<16} {:>13.1} {:>16.1} {:>12.1}   (mean)",
-            "--",
-            sums[0] / n,
-            sums[1] / n,
-            sums[2] / n
-        );
-        save_json(&format!("overhead_{}", machine.name()), &cells);
-        println!();
-    }
+    carrefour_bench::experiments::run_standalone("overhead");
 }

@@ -4,71 +4,6 @@
 //! spent in the page-fault handler, % of L2 misses caused by page-table
 //! walks, local access ratio, and memory-controller imbalance.
 
-use carrefour_bench::{run_cell, save_json, Cell, PolicyKind};
-use numa_topology::MachineSpec;
-use workloads::Benchmark;
-
 fn main() {
-    // The paper's Table 1 rows: (benchmark, machine).
-    let rows = [
-        (Benchmark::CgD, MachineSpec::machine_b()),
-        (Benchmark::UaC, MachineSpec::machine_b()),
-        (Benchmark::Wc, MachineSpec::machine_b()),
-        (Benchmark::Ssca, MachineSpec::machine_a()),
-        (Benchmark::SpecJbb, MachineSpec::machine_a()),
-    ];
-
-    println!("== Table 1: detailed analysis (machine in parentheses) ==");
-    println!(
-        "{:<14} {:>9} | {:>15} {:>15} | {:>8} {:>8} | {:>7} {:>7} | {:>8} {:>8}",
-        "bench",
-        "THP/4K %",
-        "fault(Linux)",
-        "fault(THP)",
-        "walk%4K",
-        "walk%THP",
-        "LAR 4K",
-        "LAR THP",
-        "imb 4K",
-        "imb THP"
-    );
-
-    let mut cells: Vec<Cell> = Vec::new();
-    for (bench, machine) in rows {
-        let linux = run_cell(&machine, bench, PolicyKind::Linux4k);
-        let thp = run_cell(&machine, bench, PolicyKind::LinuxThp);
-        let label = format!(
-            "{} ({})",
-            bench.name(),
-            if machine.name().ends_with('a') {
-                "A"
-            } else {
-                "B"
-            }
-        );
-        println!(
-            "{:<14} {:>9.1} | {:>8.2}ms {:>4.1}% {:>8.2}ms {:>4.1}% | {:>8.1} {:>8.1} | {:>7.0} {:>7.0} | {:>8.1} {:>8.1}",
-            label,
-            thp.improvement_over(&linux),
-            machine.cycles_to_ms(linux.lifetime.max_fault_cycles),
-            linux.lifetime.max_fault_fraction * 100.0,
-            machine.cycles_to_ms(thp.lifetime.max_fault_cycles),
-            thp.lifetime.max_fault_fraction * 100.0,
-            linux.lifetime.walk_miss_fraction * 100.0,
-            thp.lifetime.walk_miss_fraction * 100.0,
-            linux.lifetime.lar * 100.0,
-            thp.lifetime.lar * 100.0,
-            linux.lifetime.imbalance,
-            thp.lifetime.imbalance,
-        );
-        for (policy, r) in [("Linux", linux), ("THP", thp)] {
-            cells.push(Cell {
-                machine: machine.name().to_string(),
-                benchmark: bench.name().to_string(),
-                policy: policy.to_string(),
-                result: r,
-            });
-        }
-    }
-    save_json("table1", &cells);
+    carrefour_bench::experiments::run_standalone("table1");
 }

@@ -1,46 +1,6 @@
 //! Table 2: PAMUP / NHP / PSP / imbalance / LAR for SPECjbb, CG.D and UA.B
 //! under Linux, THP and Carrefour-2M, on machine A.
 
-use carrefour_bench::{run_cell, save_json, Cell, PolicyKind};
-use numa_topology::MachineSpec;
-use workloads::Benchmark;
-
 fn main() {
-    let machine = MachineSpec::machine_a();
-    let benches = [Benchmark::SpecJbb, Benchmark::CgD, Benchmark::UaB];
-    let policies = [
-        PolicyKind::Linux4k,
-        PolicyKind::LinuxThp,
-        PolicyKind::Carrefour2m,
-    ];
-
-    println!("== Table 2 (machine A): page metrics ==");
-    println!(
-        "{:<10} {:<14} {:>7} {:>5} {:>7} {:>10} {:>7}",
-        "bench", "policy", "PAMUP%", "NHP", "PSP%", "imbalance%", "LAR%"
-    );
-    let mut cells = Vec::new();
-    for bench in benches {
-        for kind in policies {
-            let r = run_cell(&machine, bench, kind);
-            println!(
-                "{:<10} {:<14} {:>7.1} {:>5} {:>7.1} {:>10.1} {:>7.0}",
-                bench.name(),
-                kind.label(),
-                r.pages.pamup,
-                r.pages.nhp,
-                r.pages.psp,
-                r.lifetime.imbalance,
-                r.lifetime.lar * 100.0,
-            );
-            cells.push(Cell {
-                machine: machine.name().to_string(),
-                benchmark: bench.name().to_string(),
-                policy: kind.label().to_string(),
-                result: r,
-            });
-        }
-        println!();
-    }
-    save_json("table2", &cells);
+    carrefour_bench::experiments::run_standalone("table2");
 }

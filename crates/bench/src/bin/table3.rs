@@ -1,63 +1,6 @@
 //! Table 3: LAR and imbalance across all four systems for CG.D (machine B),
 //! UA.B (machine A), UA.C (machine B).
 
-use carrefour_bench::{run_cell, save_json, Cell, PolicyKind};
-use numa_topology::MachineSpec;
-use workloads::Benchmark;
-
 fn main() {
-    let rows = [
-        (Benchmark::CgD, MachineSpec::machine_b()),
-        (Benchmark::UaB, MachineSpec::machine_a()),
-        (Benchmark::UaC, MachineSpec::machine_b()),
-    ];
-    let policies = [
-        PolicyKind::Linux4k,
-        PolicyKind::LinuxThp,
-        PolicyKind::Carrefour2m,
-        PolicyKind::CarrefourLp,
-    ];
-
-    println!("== Table 3: LAR % (left) and imbalance % (right) ==");
-    println!(
-        "{:<12} {:>7} {:>7} {:>9} {:>9} | {:>7} {:>7} {:>9} {:>9}",
-        "bench", "Linux", "THP", "Carr.2M", "Carr.LP", "Linux", "THP", "Carr.2M", "Carr.LP"
-    );
-    let mut cells = Vec::new();
-    for (bench, machine) in rows {
-        let results: Vec<_> = policies
-            .iter()
-            .map(|&k| run_cell(&machine, bench, k))
-            .collect();
-        let label = format!(
-            "{} ({})",
-            bench.name(),
-            if machine.name().ends_with('a') {
-                "A"
-            } else {
-                "B"
-            }
-        );
-        println!(
-            "{:<12} {:>7.0} {:>7.0} {:>9.0} {:>9.0} | {:>7.0} {:>7.0} {:>9.0} {:>9.0}",
-            label,
-            results[0].lifetime.lar * 100.0,
-            results[1].lifetime.lar * 100.0,
-            results[2].lifetime.lar * 100.0,
-            results[3].lifetime.lar * 100.0,
-            results[0].lifetime.imbalance,
-            results[1].lifetime.imbalance,
-            results[2].lifetime.imbalance,
-            results[3].lifetime.imbalance,
-        );
-        for (k, r) in policies.iter().zip(results) {
-            cells.push(Cell {
-                machine: machine.name().to_string(),
-                benchmark: bench.name().to_string(),
-                policy: k.label().to_string(),
-                result: r,
-            });
-        }
-    }
-    save_json("table3", &cells);
+    carrefour_bench::experiments::run_standalone("table3");
 }

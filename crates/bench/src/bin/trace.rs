@@ -11,6 +11,7 @@
 //! response to a golden-trace failure).
 
 use carrefour_bench::golden::{self, GoldenCell, GOLDEN_CELLS};
+use carrefour_bench::runner::Progress;
 use engine::trace::{EpochSnap, PolicyDecision, TraceEvent};
 use engine::{JsonlSink, SimConfig, Simulation, TeeSink, VecSink};
 use numa_topology::MachineSpec;
@@ -40,6 +41,7 @@ fn main() {
 
     let machine = MachineSpec::machine_a();
     let _ = std::fs::create_dir_all("results");
+    let progress = Progress::new("trace", GOLDEN_CELLS.len());
     for &cell in &GOLDEN_CELLS {
         let (events, runtime_ms) = run_traced_cell(&machine, cell);
         let timeline = render_timeline(&cell, runtime_ms, &events);
@@ -48,7 +50,9 @@ fn main() {
         if std::fs::write(&txt, &timeline).is_ok() {
             println!("  -> {txt} and results/trace_{}.jsonl\n", cell.stem());
         }
+        progress.cell_done(&cell.stem());
     }
+    progress.finish();
 }
 
 /// Runs one cell with a collector and a JSONL file sink teed together.
@@ -121,18 +125,8 @@ fn render_timeline(cell: &GoldenCell, runtime_ms: f64, events: &[TraceEvent]) ->
     );
     let _ = writeln!(
         out,
-        "{:>5} {:>9} {:>6} {:>7} {:>7} {:>6} {:>5} {:>5} {:>4} {:>4}  {}",
-        "epoch",
-        "imbal%",
-        "lar",
-        "walk%",
-        "faults",
-        "split",
-        "migr",
-        "clps",
-        "thp",
-        "fail",
-        "decisions"
+        "{:>5} {:>9} {:>6} {:>7} {:>7} {:>6} {:>5} {:>5} {:>4} {:>4}  decisions",
+        "epoch", "imbal%", "lar", "walk%", "faults", "split", "migr", "clps", "thp", "fail",
     );
     let mut rows: Vec<Row> = Vec::new();
     let mut cur = Row::default();

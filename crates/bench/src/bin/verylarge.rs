@@ -5,57 +5,6 @@
 //! from hot-page and false-sharing effects that 2 MiB pages did not
 //! trigger. Carrefour-LP (starting from 1 GiB pages) recovers the loss.
 
-use carrefour_bench::{run_cell, save_json, Cell, PolicyKind};
-use numa_topology::MachineSpec;
-use workloads::Benchmark;
-
 fn main() {
-    let machine = MachineSpec::machine_a();
-    let benches = [Benchmark::Ssca, Benchmark::Streamcluster];
-    let policies = [
-        PolicyKind::LinuxThp,
-        PolicyKind::Linux1g,
-        PolicyKind::CarrefourLp1g,
-    ];
-
-    println!("== Section 4.4 (machine A): 1 GiB pages, improvement over Linux-4K ==");
-    println!(
-        "{:<14} {:>8} {:>10} {:>17} {:>8} {:>8}",
-        "bench", "THP", "Linux-1G", "Carrefour-LP-1G", "imb 1G", "LAR 1G"
-    );
-    let mut cells = Vec::new();
-    for bench in benches {
-        let base = run_cell(&machine, bench, PolicyKind::Linux4k);
-        let mut improvements = Vec::new();
-        let mut giant_metrics = (0.0, 0.0);
-        for kind in policies {
-            let r = run_cell(&machine, bench, kind);
-            improvements.push(r.improvement_over(&base));
-            if kind == PolicyKind::Linux1g {
-                giant_metrics = (r.lifetime.imbalance, r.lifetime.lar * 100.0);
-            }
-            cells.push(Cell {
-                machine: machine.name().to_string(),
-                benchmark: bench.name().to_string(),
-                policy: kind.label().to_string(),
-                result: r,
-            });
-        }
-        cells.push(Cell {
-            machine: machine.name().to_string(),
-            benchmark: bench.name().to_string(),
-            policy: PolicyKind::Linux4k.label().to_string(),
-            result: base,
-        });
-        println!(
-            "{:<14} {:>8.1} {:>10.1} {:>17.1} {:>8.1} {:>8.0}",
-            bench.name(),
-            improvements[0],
-            improvements[1],
-            improvements[2],
-            giant_metrics.0,
-            giant_metrics.1,
-        );
-    }
-    save_json("verylarge", &cells);
+    carrefour_bench::experiments::run_standalone("verylarge");
 }

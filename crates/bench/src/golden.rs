@@ -113,22 +113,16 @@ pub fn digest_cell(machine: &MachineSpec, cell: GoldenCell) -> TraceDigest {
     digest
 }
 
-/// Computes every golden cell's digest on machine A, in parallel across
-/// host cores (each cell is independently deterministic).
+/// Computes every golden cell's digest on machine A through the shared
+/// runner pool (each cell is independently deterministic, so the result
+/// is identical at any worker count; `CARREFOUR_JOBS=1` gives the strictly
+/// sequential path CI keeps covered).
 pub fn compute_all() -> Vec<(GoldenCell, TraceDigest)> {
     let machine = MachineSpec::machine_a();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = GOLDEN_CELLS
-            .iter()
-            .map(|&cell| {
-                let machine = &machine;
-                s.spawn(move || (cell, digest_cell(machine, cell)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("golden cell panicked"))
-            .collect()
+    let jobs = crate::runner::resolve_jobs(None);
+    crate::runner::par_map(jobs, GOLDEN_CELLS.len(), |i| {
+        let cell = GOLDEN_CELLS[i];
+        (cell, digest_cell(&machine, cell))
     })
 }
 

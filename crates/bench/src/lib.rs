@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 use vmem::ThpControls;
 use workloads::Benchmark;
 
+pub mod experiments;
 pub mod golden;
+pub mod runner;
 
 /// Every system configuration the paper evaluates.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -32,6 +34,8 @@ pub enum PolicyKind {
     ReactiveOnly,
     /// Full Carrefour-LP (Algorithm 1).
     CarrefourLp,
+    /// Carrefour-LP with action retries disabled (the `chaos` ablation).
+    CarrefourLpNoRetry,
     /// Linux with 1 GiB pages (Section 4.4's libhugetlbfs setup).
     Linux1g,
     /// Carrefour-LP starting from 1 GiB pages (Section 4.4).
@@ -48,7 +52,8 @@ impl PolicyKind {
             PolicyKind::LinuxThp
             | PolicyKind::Carrefour2m
             | PolicyKind::ReactiveOnly
-            | PolicyKind::CarrefourLp => ThpControls::thp(),
+            | PolicyKind::CarrefourLp
+            | PolicyKind::CarrefourLpNoRetry => ThpControls::thp(),
             PolicyKind::Linux1g | PolicyKind::CarrefourLp1g => ThpControls::giant(),
         }
     }
@@ -62,6 +67,7 @@ impl PolicyKind {
             PolicyKind::Carrefour4k | PolicyKind::Carrefour2m => Box::new(Carrefour::new()),
             PolicyKind::ConservativeOnly => Box::new(CarrefourLp::conservative_only()),
             PolicyKind::ReactiveOnly => Box::new(CarrefourLp::reactive_only()),
+            PolicyKind::CarrefourLpNoRetry => Box::new(CarrefourLp::without_retries()),
             PolicyKind::CarrefourLp | PolicyKind::CarrefourLp1g => Box::new(CarrefourLp::new()),
         }
     }
@@ -76,6 +82,7 @@ impl PolicyKind {
             PolicyKind::ConservativeOnly => "Conservative",
             PolicyKind::ReactiveOnly => "Reactive",
             PolicyKind::CarrefourLp => "Carrefour-LP",
+            PolicyKind::CarrefourLpNoRetry => "Carrefour-LP-NoRetry",
             PolicyKind::Linux1g => "Linux-1G",
             PolicyKind::CarrefourLp1g => "Carrefour-LP-1G",
         }
@@ -110,40 +117,35 @@ pub struct Cell {
     pub result: SimResult,
 }
 
-/// Runs a full (benchmark × policy) matrix on one machine, in parallel
-/// across host cores, preserving deterministic per-cell results.
+/// Builds the cell specs of a full (benchmark × policy) matrix on one
+/// machine, in the deterministic (bench-major) submission order.
+pub fn matrix_specs(
+    machine: &MachineSpec,
+    benches: &[Benchmark],
+    policies: &[PolicyKind],
+) -> Vec<runner::CellSpec> {
+    let mut specs = Vec::with_capacity(benches.len() * policies.len());
+    for &b in benches {
+        for &p in policies {
+            specs.push(runner::CellSpec::new(machine.clone(), b, p));
+        }
+    }
+    specs
+}
+
+/// Runs a full (benchmark × policy) matrix on one machine through the
+/// shared runner (worker count from `--jobs` / `CARREFOUR_JOBS` / host
+/// cores), preserving deterministic per-cell results.
 pub fn run_matrix(
     machine: &MachineSpec,
     benches: &[Benchmark],
     policies: &[PolicyKind],
 ) -> Vec<Cell> {
-    let mut jobs: Vec<(Benchmark, PolicyKind)> = Vec::new();
-    for &b in benches {
-        for &p in policies {
-            jobs.push((b, p));
-        }
-    }
-    let results: Vec<Cell> = std::thread::scope(|s| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(b, p)| {
-                s.spawn(move || {
-                    let r = run_cell(machine, b, p);
-                    Cell {
-                        machine: machine.name().to_string(),
-                        benchmark: b.name().to_string(),
-                        policy: p.label().to_string(),
-                        result: r,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sim panicked"))
-            .collect()
-    });
-    results
+    let specs = matrix_specs(machine, benches, policies);
+    let progress = runner::Progress::new(machine.name(), specs.len());
+    let cells = runner::run_cells(&specs, runner::default_jobs(), &progress);
+    progress.finish();
+    cells
 }
 
 /// Finds the cell for `(benchmark, policy)` in a matrix result.
@@ -403,6 +405,7 @@ mod tests {
             PolicyKind::ConservativeOnly,
             PolicyKind::ReactiveOnly,
             PolicyKind::CarrefourLp,
+            PolicyKind::CarrefourLpNoRetry,
             PolicyKind::Linux1g,
             PolicyKind::CarrefourLp1g,
         ];

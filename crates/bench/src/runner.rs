@@ -1,0 +1,389 @@
+//! The work-distributing experiment runner.
+//!
+//! Every figure/table binary used to fan its (workload × policy × machine)
+//! cells out with ad-hoc `thread::scope` blocks — one unbounded thread per
+//! cell, no progress reporting, no way to cap parallelism. This module
+//! replaces those with one shared pool:
+//!
+//! * [`CellSpec`] names one simulation cell completely — workload, policy,
+//!   machine, optional seed override, optional fault plan — so every
+//!   experiment submits work in the same currency;
+//! * [`par_map`] executes `n` independent jobs on a scoped worker pool
+//!   (`std::thread::scope`, no external dependencies — the build is
+//!   offline) and returns results in **submission order**, whatever order
+//!   the workers finished in;
+//! * [`Progress`] prints live `done/total` lines to stderr as cells
+//!   complete, shared by the figure bins, `chaos`, and `trace`;
+//! * [`resolve_jobs`] implements the worker-count override chain:
+//!   `--jobs N` on the command line, then the `CARREFOUR_JOBS` environment
+//!   variable, then [`std::thread::available_parallelism`].
+//!
+//! # Determinism
+//!
+//! The simulator is fully deterministic in `(spec, config)`: each cell owns
+//! its RNG (seeded from the config), its address space, and its policy
+//! object, and shares nothing mutable with its siblings. Worker threads
+//! only choose *which* cell runs where and when — they never touch what a
+//! cell computes — and results land in a slot indexed by submission
+//! position. A run at `--jobs 1` and a run at `--jobs 64` therefore return
+//! bit-identical `Vec<Cell>`s (enforced by the equivalence proptest in
+//! `tests/runner_equivalence.rs` and by the golden digests).
+
+use crate::{run_cell, Cell, PolicyKind};
+use engine::{FaultConfig, SimConfig, SimResult, Simulation};
+use numa_topology::MachineSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use workloads::{Benchmark, WorkloadSpec};
+
+/// The workload half of a cell: a named suite benchmark (its spec is
+/// derived per machine) or a fully explicit spec (tests, chaos probes).
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// One of the paper's suite benchmarks.
+    Bench(Benchmark),
+    /// An explicit workload spec, used as-is on any machine.
+    Custom(WorkloadSpec),
+}
+
+impl Workload {
+    /// Display name (what the `benchmark` column of a [`Cell`] shows).
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Bench(b) => b.name().to_string(),
+            Workload::Custom(s) => s.name.clone(),
+        }
+    }
+
+    /// The concrete spec to simulate on `machine`.
+    pub fn spec(&self, machine: &MachineSpec) -> WorkloadSpec {
+        match self {
+            Workload::Bench(b) => b.spec(machine),
+            Workload::Custom(s) => s.clone(),
+        }
+    }
+}
+
+/// One fully described simulation cell. Two equal `CellSpec`s always
+/// produce equal [`SimResult`]s (the simulator is deterministic), which is
+/// what makes cross-experiment dedup in `all_experiments` sound.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// The machine model.
+    pub machine: MachineSpec,
+    /// The workload.
+    pub workload: Workload,
+    /// The policy under test.
+    pub kind: PolicyKind,
+    /// Override of `SimConfig::seed` (`None` = the standard seed).
+    pub seed: Option<u64>,
+    /// Fault plan (`None` = fault-free).
+    pub faults: Option<FaultConfig>,
+    /// Override of the result's policy label (`None` = `kind.label()`).
+    /// `chaos` uses this to tag cells with their fault rate.
+    pub label: Option<String>,
+}
+
+impl CellSpec {
+    /// A plain (machine, benchmark, policy) cell — the common case.
+    pub fn new(machine: MachineSpec, bench: Benchmark, kind: PolicyKind) -> Self {
+        CellSpec {
+            machine,
+            workload: Workload::Bench(bench),
+            kind,
+            seed: None,
+            faults: None,
+            label: None,
+        }
+    }
+
+    /// The policy label this cell's results carry.
+    pub fn policy_label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.kind.label().to_string())
+    }
+
+    /// Short human-readable tag for progress lines.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{} on {}",
+            self.workload.name(),
+            self.policy_label(),
+            self.machine.name()
+        )
+    }
+
+    /// Dedup key: two cells with equal keys are guaranteed (by
+    /// determinism) to produce equal results. `Debug` formatting covers
+    /// every field that feeds the simulation.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{:?}|{:?}|{:?}|{:?}",
+            self.machine.name(),
+            self.workload,
+            self.kind,
+            self.seed,
+            self.faults
+        )
+    }
+}
+
+/// Runs one cell spec. Identical to [`run_cell`] for plain cells; seed
+/// and fault overrides are applied to the per-machine config first.
+pub fn run_spec(spec: &CellSpec) -> SimResult {
+    if spec.seed.is_none() && spec.faults.is_none() {
+        if let Workload::Bench(b) = spec.workload {
+            let mut r = run_cell(&spec.machine, b, spec.kind);
+            r.policy = spec.policy_label();
+            return r;
+        }
+    }
+    let mut config = SimConfig::for_machine(&spec.machine, spec.kind.initial_thp());
+    if let Some(seed) = spec.seed {
+        config.seed = seed;
+    }
+    if let Some(faults) = spec.faults {
+        config.faults = faults;
+    }
+    let wspec = spec.workload.spec(&spec.machine);
+    let mut policy = spec.kind.make();
+    let mut r = Simulation::run(&spec.machine, &wspec, &config, policy.as_mut());
+    r.policy = spec.policy_label();
+    r
+}
+
+/// Parses `--jobs N` / `--jobs=N` out of the process arguments.
+pub fn jobs_from_args() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+/// Resolves the worker count: explicit CLI value, then `CARREFOUR_JOBS`,
+/// then the host's available parallelism. Always at least 1.
+pub fn resolve_jobs(cli: Option<usize>) -> usize {
+    cli.or_else(|| {
+        std::env::var("CARREFOUR_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+    .unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+    .max(1)
+}
+
+/// The default worker count for a binary: `--jobs` from its arguments,
+/// then the environment, then all host cores.
+pub fn default_jobs() -> usize {
+    resolve_jobs(jobs_from_args())
+}
+
+/// Executes `f(0..n)` on up to `jobs` scoped worker threads and returns
+/// the results **in index order**. Workers pull indices from a shared
+/// atomic counter (dynamic load balancing: a slow cell never blocks the
+/// queue) and a worker panic propagates out of the enclosing
+/// `thread::scope`. With `jobs <= 1` the closure runs inline on the
+/// caller's thread — the strictly sequential path CI keeps covered.
+pub fn par_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return out;
+                        }
+                        out.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("runner worker panicked"))
+            .collect()
+    });
+    // Reassemble in submission order: scheduling decided only *where* each
+    // index ran, never what it computed.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for chunk in &mut chunks {
+        for (i, v) in chunk.drain(..) {
+            debug_assert!(slots[i].is_none(), "index {i} computed twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("runner lost a job"))
+        .collect()
+}
+
+/// Live progress reporting shared by every experiment binary. Thread-safe;
+/// one stderr line per completed cell plus a summary from [`finish`].
+///
+/// [`finish`]: Progress::finish
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    quiet: bool,
+}
+
+impl Progress {
+    /// A reporter for `total` cells under the given experiment label.
+    /// Honors `CARREFOUR_QUIET=1` (used by tests to keep output clean).
+    pub fn new(label: &str, total: usize) -> Self {
+        Progress {
+            label: label.to_string(),
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            quiet: std::env::var_os("CARREFOUR_QUIET").is_some_and(|v| v == "1"),
+        }
+    }
+
+    /// Records one finished cell and prints a progress line.
+    pub fn cell_done(&self, what: &str) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.quiet {
+            eprintln!(
+                "[{}] {}/{} {:.1}s  {}",
+                self.label,
+                done,
+                self.total,
+                self.start.elapsed().as_secs_f64(),
+                what
+            );
+        }
+    }
+
+    /// Prints the closing summary and returns total elapsed seconds.
+    pub fn finish(&self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if !self.quiet {
+            eprintln!(
+                "[{}] {} cells in {:.1}s",
+                self.label,
+                self.done.load(Ordering::Relaxed),
+                secs
+            );
+        }
+        secs
+    }
+
+    /// Seconds since the reporter was created.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+/// One executed cell plus its host wall-clock cost (the wall clock is
+/// observability only — it never feeds back into simulated results).
+pub struct TimedCell {
+    /// The result row.
+    pub cell: Cell,
+    /// Host seconds this cell took.
+    pub wall_secs: f64,
+}
+
+/// Runs every spec on the pool and returns result rows in submission
+/// order, with per-cell wall-clock. `progress` ticks as cells finish.
+pub fn run_cells_timed(specs: &[CellSpec], jobs: usize, progress: &Progress) -> Vec<TimedCell> {
+    par_map(jobs, specs.len(), |i| {
+        let spec = &specs[i];
+        let t = Instant::now();
+        let result = run_spec(spec);
+        let wall_secs = t.elapsed().as_secs_f64();
+        progress.cell_done(&spec.describe());
+        TimedCell {
+            cell: Cell {
+                machine: spec.machine.name().to_string(),
+                benchmark: spec.workload.name(),
+                policy: spec.policy_label(),
+                result,
+            },
+            wall_secs,
+        }
+    })
+}
+
+/// [`run_cells_timed`] without the timing wrapper.
+pub fn run_cells(specs: &[CellSpec], jobs: usize, progress: &Progress) -> Vec<Cell> {
+    run_cells_timed(specs, jobs, progress)
+        .into_iter()
+        .map(|t| t.cell)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_returns_submission_order() {
+        for jobs in [1, 2, 3, 8] {
+            let out = par_map(jobs, 17, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>(), "{jobs}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert!(par_map(4, 0, |i| i).is_empty());
+        assert_eq!(par_map(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_cli() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn cell_keys_separate_distinct_cells() {
+        let a = CellSpec::new(
+            MachineSpec::machine_a(),
+            Benchmark::UaB,
+            PolicyKind::Linux4k,
+        );
+        let mut b = a.clone();
+        b.kind = PolicyKind::LinuxThp;
+        let mut c = a.clone();
+        c.seed = Some(7);
+        let mut d = a.clone();
+        d.faults = Some(FaultConfig::uniform(1, 0.1));
+        let keys: std::collections::BTreeSet<String> =
+            [&a, &b, &c, &d].iter().map(|s| s.key()).collect();
+        assert_eq!(keys.len(), 4);
+        // The label is presentation only: it must NOT split the dedup key.
+        let mut e = a.clone();
+        e.label = Some("renamed".into());
+        assert_eq!(a.key(), e.key());
+    }
+}

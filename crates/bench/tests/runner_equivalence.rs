@@ -1,0 +1,133 @@
+//! Parallel-vs-sequential equivalence of the experiment runner.
+//!
+//! The runner's determinism claim (DESIGN.md §10): worker threads decide
+//! only *where* a cell runs, never what it computes, and results land in
+//! submission-order slots — so any worker count yields a bit-identical
+//! `Vec<Cell>`. The property test drives that claim with randomly shaped
+//! small workloads, random seeds, and **nonzero fault plans** (the fault
+//! injector draws from a per-cell RNG, the nastiest place a cross-thread
+//! leak could hide). A separate smoke test covers two real paper cells.
+
+use carrefour_bench::runner::{self, CellSpec, Progress, Workload};
+use carrefour_bench::PolicyKind;
+use engine::FaultConfig;
+use numa_topology::MachineSpec;
+use proptest::prelude::*;
+use workloads::{AccessPattern, Benchmark, RegionSpec, WorkloadSpec};
+
+const BASE: u64 = 64 << 30;
+
+/// A small, cheap workload spec (same shape as the engine's fault props).
+fn small_spec(
+    machine: &MachineSpec,
+    name: String,
+    mib: u64,
+    pattern: AccessPattern,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        threads: machine.total_cores(),
+        regions: vec![RegionSpec {
+            base: BASE,
+            bytes: mib << 20,
+            share: 1.0,
+            pattern,
+            alloc_skew: 0.0,
+            loader_headers: 0.0,
+            rw_shared: false,
+            read_only: false,
+        }],
+        ops_per_round: 200,
+        compute_rounds: 6,
+        think_cycles_per_op: 10,
+        write_fraction: 0.3,
+        phases: Vec::new(),
+        mlp: 1,
+    }
+}
+
+/// Runs the same specs at two worker counts under a quiet progress
+/// reporter and asserts the full result rows are bit-identical.
+fn assert_jobs_equivalent(specs: &[CellSpec], jobs_a: usize, jobs_b: usize) {
+    std::env::set_var("CARREFOUR_QUIET", "1");
+    let pa = Progress::new("eq-a", specs.len());
+    let a = runner::run_cells(specs, jobs_a, &pa);
+    let pb = Progress::new("eq-b", specs.len());
+    let b = runner::run_cells(specs, jobs_b, &pb);
+    assert_eq!(a.len(), b.len());
+    for (ca, cb) in a.iter().zip(&b) {
+        assert_eq!(ca.machine, cb.machine);
+        assert_eq!(ca.benchmark, cb.benchmark);
+        assert_eq!(ca.policy, cb.policy);
+        assert_eq!(
+            ca.result, cb.result,
+            "results diverged for {}/{} at jobs {jobs_a} vs {jobs_b}",
+            ca.benchmark, ca.policy
+        );
+    }
+}
+
+proptest! {
+    /// N random cells — random workload shapes, seeds, policies, and
+    /// nonzero fault plans — produce `SimResult`s bit-identical
+    /// (`PartialEq`) between a sequential run and a parallel run.
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential(
+        n in 1usize..4,
+        mib in 2u64..6,
+        seed in 0u64..=u64::MAX,
+        fault_seed in 1u64..u64::MAX,
+        rate in 0.01f64..0.5,
+        pattern in [AccessPattern::PrivateSlices, AccessPattern::SharedUniform].as_slice(),
+        jobs in 2usize..5,
+    ) {
+        let machine = MachineSpec::test_machine();
+        let kinds = [
+            PolicyKind::Linux4k,
+            PolicyKind::LinuxThp,
+            PolicyKind::CarrefourLp,
+            PolicyKind::CarrefourLpNoRetry,
+        ];
+        let specs: Vec<CellSpec> = (0..n)
+            .map(|i| CellSpec {
+                machine: machine.clone(),
+                workload: Workload::Custom(small_spec(
+                    &machine,
+                    format!("eq-{i}"),
+                    mib + i as u64,
+                    pattern,
+                )),
+                kind: kinds[i % kinds.len()],
+                seed: Some(seed.wrapping_add(i as u64)),
+                faults: Some(FaultConfig::uniform(fault_seed, rate)),
+                label: None,
+            })
+            .collect();
+        assert_jobs_equivalent(&specs, 1, jobs);
+    }
+}
+
+/// Two real paper cells (UA.B under Linux-4K and Carrefour-LP): the
+/// sequential and the 2-worker run return identical rows. This is the
+/// same code path `all_experiments --jobs N` takes.
+#[test]
+fn real_cells_equivalent_across_jobs() {
+    let machine = MachineSpec::machine_a();
+    let specs = vec![
+        CellSpec::new(machine.clone(), Benchmark::UaB, PolicyKind::Linux4k),
+        CellSpec::new(machine, Benchmark::UaB, PolicyKind::CarrefourLp),
+    ];
+    assert_jobs_equivalent(&specs, 1, 2);
+}
+
+/// `run_spec` and the classic `run_cell` agree on plain cells, so the
+/// dedup in `all_experiments` serves figure bins the exact rows their
+/// standalone binaries would have computed.
+#[test]
+fn run_spec_matches_run_cell() {
+    let machine = MachineSpec::machine_a();
+    let spec = CellSpec::new(machine.clone(), Benchmark::UaB, PolicyKind::LinuxThp);
+    let a = runner::run_spec(&spec);
+    let b = carrefour_bench::run_cell(&machine, Benchmark::UaB, PolicyKind::LinuxThp);
+    assert_eq!(a, b);
+}

@@ -8,7 +8,7 @@ use crate::trace::{EpochSnap, TraceEvent, TraceSink};
 use memsys::{AccessKind, MemorySystem};
 use numa_topology::{CoreId, MachineSpec, NodeId};
 use profiling::{metrics, CoreFaultTime, EpochCounters, IbsSample, IbsSampler, PageAccessStats};
-use vmem::{AddressSpace, Mapping, PageSize, SpaceError, Tlb, TlbLookup, VirtAddr};
+use vmem::{AddressSpace, Mapping, PageSize, SpaceError, Tlb, TlbLookup, VirtAddr, WalkCache};
 use workloads::{WorkloadGen, WorkloadSpec};
 
 /// Runs complete workloads under a policy and produces [`SimResult`]s.
@@ -30,6 +30,10 @@ struct SimState<'m, 't> {
     mlp: u64,
     mem: MemorySystem,
     space: AddressSpace,
+    /// Host-side memo of the radix walk, keyed per 2 MiB region. Purely a
+    /// simulation-speed optimisation: the cached result replays the exact
+    /// walk steps, so the per-step simulated-cache charges are unchanged.
+    walk_cache: WalkCache,
     tlbs: Vec<Tlb>,
     sampler: IbsSampler,
     page_stats: Option<PageAccessStats>,
@@ -159,7 +163,7 @@ impl<'m, 't> SimState<'m, 't> {
         cycles: &mut u64,
     ) -> Mapping {
         let core = CoreId::from(thread);
-        let walk = self.space.walk(vaddr);
+        let walk = self.space.walk_cached(vaddr, &mut self.walk_cache);
         for step in walk.steps() {
             let out = self
                 .mem
@@ -479,6 +483,7 @@ impl Simulation {
             mlp: u64::from(spec.mlp.max(1)),
             mem: MemorySystem::new(machine, config.memsys.clone()),
             space,
+            walk_cache: WalkCache::new(),
             tlbs: (0..spec.threads)
                 .map(|_| Tlb::new(&config.vmem.tlb))
                 .collect(),

@@ -48,5 +48,7 @@ pub use replica::{ReplicaSet, ReplicaTable};
 pub use space::{
     AddressSpace, AllocGate, AllowAll, FaultOutcome, SpaceError, ThpControls, VmemConfig, VmemStats,
 };
-pub use table::{CollapseOutcome, Mapping, PageSize, PageTable, TableError, WalkResult, WalkStep};
+pub use table::{
+    CollapseOutcome, Mapping, PageSize, PageTable, TableError, WalkCache, WalkResult, WalkStep,
+};
 pub use tlb::{Tlb, TlbConfig, TlbEntry, TlbLookup, TlbStats};

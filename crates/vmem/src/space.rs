@@ -5,7 +5,7 @@ use crate::error::VmemError;
 use crate::frame::{FrameAllocator, FrameError};
 use crate::ops::{OpCost, OpCostModel};
 use crate::replica::ReplicaTable;
-use crate::table::{Mapping, PageSize, PageTable, TableError, WalkResult};
+use crate::table::{Mapping, PageSize, PageTable, TableError, WalkCache, WalkResult};
 use crate::tlb::TlbConfig;
 use numa_topology::{MachineSpec, NodeId};
 use serde::{Deserialize, Serialize};
@@ -345,6 +345,15 @@ impl AddressSpace {
         self.table.walk(vaddr)
     }
 
+    /// Like [`AddressSpace::walk`], but memoized through `cache` (see
+    /// [`WalkCache`]): bit-identical steps and mapping, no radix traversal
+    /// on a hit. The cache self-invalidates when the table's structural
+    /// generation moves (split / collapse / migrate).
+    #[inline]
+    pub fn walk_cached(&self, vaddr: VirtAddr, cache: &mut WalkCache) -> WalkResult {
+        self.table.walk_cached(vaddr, cache)
+    }
+
     /// Whether a page of `size` covering `vaddr` would lie entirely inside
     /// the region containing `vaddr`.
     ///
@@ -544,18 +553,20 @@ impl AddressSpace {
         }
         let mut collapsed = Vec::new();
         let mut cycles: OpCost = 0;
-        // Gather candidate 2 MiB bases lazily: walk leaves and group.
-        let leaves = self.table.leaves();
+        // Gather candidate 2 MiB bases lazily: visit leaves in place and
+        // group — no intermediate Vec of every mapping (this scan runs at
+        // every epoch boundary, and 4 KiB-heavy workloads have hundreds of
+        // thousands of leaves).
         let mut groups: std::collections::BTreeMap<u64, (usize, Vec<NodeId>)> =
             std::collections::BTreeMap::new();
-        for m in &leaves {
+        self.table.for_each_leaf(|m| {
             if m.size == PageSize::Size4K {
                 let base = m.vbase.align_down(PAGE_2M).0;
                 let e = groups.entry(base).or_insert_with(|| (0, Vec::new()));
                 e.0 += 1;
                 e.1.push(m.node);
             }
-        }
+        });
         let mut window: Vec<(u64, usize, NodeId)> = Vec::with_capacity(max_candidates + 1);
         for (base, (count, nodes)) in groups.range(self.scan_cursor..) {
             if window.len() > max_candidates {
@@ -1058,6 +1069,83 @@ mod tests {
         // Simulated corruption: free the frame while it stays mapped.
         s.free_frame(f.mapping.frame, PageSize::Size4K);
         assert!(matches!(s.validate().unwrap_err(), VmemError::Invariant(_)));
+    }
+
+    #[test]
+    fn walk_cache_tracks_every_space_operation() {
+        // End-to-end invalidation check at the AddressSpace level: fault,
+        // split, migrate, replicate, promote — after each operation the
+        // cached walk must equal the uncached one exactly.
+        let mut s = space();
+        s.map_region(BASE, 64 << 20).unwrap();
+        let mut cache = WalkCache::new();
+        let check = |s: &AddressSpace, cache: &mut WalkCache, vaddr: u64| {
+            let plain = s.walk(VirtAddr(vaddr));
+            let cached = s.walk_cached(VirtAddr(vaddr), cache);
+            assert_eq!(plain.mapping, cached.mapping, "at {vaddr:#x}");
+            assert_eq!(plain.steps().len(), cached.steps().len());
+            for (a, b) in plain.steps().iter().zip(cached.steps()) {
+                assert_eq!(a.pte_addr, b.pte_addr);
+                assert_eq!(a.node, b.node);
+            }
+        };
+        check(&s, &mut cache, BASE); // unmapped
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap(); // 2M fault
+        check(&s, &mut cache, BASE + 0x1000);
+        s.split(VirtAddr(BASE)).unwrap();
+        check(&s, &mut cache, BASE + 0x1000); // now a 4K child
+        assert_eq!(
+            s.walk_cached(VirtAddr(BASE + 0x1000), &mut cache)
+                .mapping
+                .unwrap()
+                .size,
+            PageSize::Size4K
+        );
+        s.migrate(VirtAddr(BASE + 0x1000), NodeId(1)).unwrap();
+        check(&s, &mut cache, BASE + 0x1000);
+        assert_eq!(
+            s.walk_cached(VirtAddr(BASE + 0x1000), &mut cache)
+                .mapping
+                .unwrap()
+                .node,
+            NodeId(1)
+        );
+        // Replication never touches the page table: the cached walk keeps
+        // returning the master mapping, and replica resolution downstream
+        // substitutes the local copy.
+        s.replicate(VirtAddr(BASE + 0x1000), 2).unwrap();
+        check(&s, &mut cache, BASE + 0x1000);
+        let master = s
+            .walk_cached(VirtAddr(BASE + 0x1000), &mut cache)
+            .mapping
+            .unwrap();
+        assert_eq!(master.node, NodeId(1));
+        let local = s.resolve_replica(master, NodeId(0));
+        assert_eq!(local.node, NodeId(0));
+        // ...and a store's replica collapse keeps the cache coherent too.
+        s.collapse_replicas(VirtAddr(BASE + 0x1000));
+        check(&s, &mut cache, BASE + 0x1000);
+        // Promotion (collapse back to 2M after re-enabling) invalidates.
+        s.clear_promote_inhibitions();
+        for i in 0..512u64 {
+            let v = VirtAddr(BASE + i * PAGE_4K);
+            if s.translate(v).is_none() {
+                s.fault(v, NodeId(1)).unwrap();
+            } else if s.translate(v).unwrap().node != NodeId(1) {
+                s.migrate(v, NodeId(1)).unwrap();
+            }
+        }
+        let (collapsed, _) = s.promotion_scan(64);
+        assert_eq!(collapsed, vec![VirtAddr(BASE)]);
+        check(&s, &mut cache, BASE + 0x1000);
+        assert_eq!(
+            s.walk_cached(VirtAddr(BASE + 0x1000), &mut cache)
+                .mapping
+                .unwrap()
+                .size,
+            PageSize::Size2M
+        );
+        s.validate().unwrap();
     }
 
     #[test]

@@ -205,6 +205,93 @@ pub struct PageTable {
     /// 4 KiB frames consumed by table nodes (a paper motivation: page-table
     /// memory itself).
     table_bytes: u64,
+    /// Bumped by every structural change that can invalidate a
+    /// [`WalkCache`] entry: split (leaf → table), collapse (table → leaf),
+    /// and remap (a leaf's frame/node rewritten in place). `map` never
+    /// bumps it — installing a new leaf only fills a previously-empty slot,
+    /// which no cached entry can refer to (4 KiB leaves are looked up live
+    /// through the cached PT node).
+    generation: u64,
+}
+
+/// A software paging-structure/translation cache in front of
+/// [`PageTable::walk`].
+///
+/// The simulator's per-access hot path re-walks the radix table on every
+/// TLB miss; for any 2 MiB-aligned virtual region the three upper walk
+/// steps (PML4/PDPT/PD references) are fixed as long as the table's
+/// structure does not change, so they are memoized here per region. A
+/// region mapped by a huge or giant leaf caches the full result; a region
+/// mapped through a last-level PT node caches the PT's arena index and
+/// resolves the 4 KiB leaf with a single lookup (so demand faults that add
+/// sibling pages need no invalidation at all).
+///
+/// Coherence is by generation: [`PageTable`] bumps its generation on
+/// split, collapse, and remap (the policy-driven epoch operations —
+/// migrate, split, promote — are exactly these), and the cache clears
+/// itself wholesale when the generations diverge. The cached walk is
+/// therefore *provably* equal to the uncached one: between two generation
+/// bumps the table's structure is immutable apart from leaf insertions,
+/// which the cache reads through live.
+#[derive(Clone, Debug, Default)]
+pub struct WalkCache {
+    generation: u64,
+    entries: std::collections::HashMap<u64, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum CacheEntry {
+    /// The region is covered by one huge (2 MiB, 3 steps) or giant
+    /// (1 GiB, 2 steps) leaf.
+    Huge {
+        steps: [WalkStep; 4],
+        len: usize,
+        mapping: Mapping,
+    },
+    /// The region is mapped through a last-level (PT) node: the upper
+    /// three steps are fixed, the fourth is computed from the PT base, and
+    /// the leaf is looked up live in the PT node.
+    Pt { steps: [WalkStep; 3], table: u32 },
+}
+
+impl WalkCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WalkCache::default()
+    }
+
+    /// Cached-walk hits since creation.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cached-walk misses since creation.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Whole-cache invalidations (generation bumps observed).
+    #[inline]
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Number of regions currently cached.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Index of the root (PML4) node in the arena.
@@ -239,7 +326,14 @@ impl PageTable {
                 entries: BTreeMap::new(),
             }],
             table_bytes: PAGE_4K,
+            generation: 0,
         })
+    }
+
+    /// Current structural generation (see [`WalkCache`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Bytes of physical memory consumed by page-table nodes.
@@ -289,6 +383,126 @@ impl PageTable {
                     }
                 }
                 None => break,
+            }
+        }
+        WalkResult {
+            steps,
+            len,
+            mapping: None,
+        }
+    }
+
+    /// Like [`PageTable::walk`], but consults (and fills) `cache` first.
+    /// Returns a [`WalkResult`] bit-identical to the uncached walk — same
+    /// steps, same mapping — skipping the radix traversal on a hit.
+    pub fn walk_cached(&self, vaddr: VirtAddr, cache: &mut WalkCache) -> WalkResult {
+        if cache.generation != self.generation {
+            cache.entries.clear();
+            cache.generation = self.generation;
+            cache.invalidations += 1;
+        }
+        let key = vaddr.0 >> 21;
+        if let Some(e) = cache.entries.get(&key) {
+            cache.hits += 1;
+            match *e {
+                CacheEntry::Huge {
+                    steps,
+                    len,
+                    mapping,
+                } => {
+                    return WalkResult {
+                        steps,
+                        len,
+                        mapping: Some(mapping),
+                    }
+                }
+                CacheEntry::Pt {
+                    steps: upper,
+                    table,
+                } => {
+                    let t = &self.arena[table as usize];
+                    let idx = level_index(vaddr, 3);
+                    let mut steps = [WalkStep {
+                        pte_addr: PhysAddr(0),
+                        node: NodeId(0),
+                    }; 4];
+                    steps[..3].copy_from_slice(&upper);
+                    steps[3] = WalkStep {
+                        pte_addr: PhysAddr(t.base.0 + u64::from(idx) * 8),
+                        node: t.node,
+                    };
+                    let mapping = match t.entries.get(&idx) {
+                        Some(Entry::Leaf(m)) => Some(*m),
+                        _ => None,
+                    };
+                    return WalkResult {
+                        steps,
+                        len: 4,
+                        mapping,
+                    };
+                }
+            }
+        }
+        cache.misses += 1;
+        // Slow path: the real walk, additionally noting the arena index of
+        // the last-level table so the region becomes cacheable.
+        let mut steps = [WalkStep {
+            pte_addr: PhysAddr(0),
+            node: NodeId(0),
+        }; 4];
+        let mut len = 0;
+        let mut node = ROOT;
+        for level in 0..4 {
+            let idx = level_index(vaddr, level);
+            let table = &self.arena[node as usize];
+            steps[len] = WalkStep {
+                pte_addr: PhysAddr(table.base.0 + u64::from(idx) * 8),
+                node: table.node,
+            };
+            len += 1;
+            match table.entries.get(&idx) {
+                Some(Entry::Table(next)) => {
+                    if level == 2 {
+                        // Reached the PT covering this 2 MiB region. Cache
+                        // it even when the 4 KiB leaf itself is still
+                        // absent: the upper path is stable across demand
+                        // faults, and the leaf is looked up live.
+                        let mut upper = [steps[0]; 3];
+                        upper.copy_from_slice(&steps[..3]);
+                        cache.entries.insert(
+                            key,
+                            CacheEntry::Pt {
+                                steps: upper,
+                                table: *next,
+                            },
+                        );
+                    }
+                    node = *next;
+                }
+                Some(Entry::Leaf(m)) => {
+                    if m.size != PageSize::Size4K {
+                        cache.entries.insert(
+                            key,
+                            CacheEntry::Huge {
+                                steps,
+                                len,
+                                mapping: *m,
+                            },
+                        );
+                    }
+                    return WalkResult {
+                        steps,
+                        len,
+                        mapping: Some(*m),
+                    };
+                }
+                None => {
+                    return WalkResult {
+                        steps,
+                        len,
+                        mapping: None,
+                    }
+                }
             }
         }
         WalkResult {
@@ -379,6 +593,7 @@ impl PageTable {
                     let old = *m;
                     m.frame = new_frame;
                     m.node = new_node;
+                    self.generation += 1;
                     return Ok(old);
                 }
                 None => break,
@@ -430,6 +645,7 @@ impl PageTable {
                     self.arena[node as usize]
                         .entries
                         .insert(idx, Entry::Table(new_idx));
+                    self.generation += 1;
                     return Ok(m);
                 }
                 None => break,
@@ -493,6 +709,7 @@ impl PageTable {
             }),
         );
         self.table_bytes -= PAGE_4K;
+        self.generation += 1;
         Ok(CollapseOutcome {
             old_children: old,
             table_frame: child_base,
@@ -761,6 +978,161 @@ mod tests {
         // A nearby page reuses the whole path.
         map4k(&mut t, &mut f, 0x2000, NodeId(0));
         assert_eq!(t.table_bytes(), before + 3 * PAGE_4K);
+    }
+
+    /// Asserts a cached walk is bit-identical to the uncached one.
+    fn assert_walk_equal(t: &PageTable, cache: &mut WalkCache, vaddr: u64) {
+        let plain = t.walk(VirtAddr(vaddr));
+        let cached = t.walk_cached(VirtAddr(vaddr), cache);
+        assert_eq!(plain.mapping, cached.mapping, "mapping at {vaddr:#x}");
+        assert_eq!(plain.steps().len(), cached.steps().len());
+        for (a, b) in plain.steps().iter().zip(cached.steps()) {
+            assert_eq!(a.pte_addr, b.pte_addr, "step addr at {vaddr:#x}");
+            assert_eq!(a.node, b.node, "step node at {vaddr:#x}");
+        }
+    }
+
+    #[test]
+    fn walk_cache_hits_after_first_walk_and_matches_plain_walk() {
+        let (mut f, mut t) = setup();
+        for i in 0..8u64 {
+            map4k(&mut t, &mut f, 0x4000_0000 + i * PAGE_4K, NodeId(0));
+        }
+        let mut cache = WalkCache::new();
+        assert_walk_equal(&t, &mut cache, 0x4000_0000);
+        assert_eq!(cache.misses(), 1);
+        for i in 0..8u64 {
+            assert_walk_equal(&t, &mut cache, 0x4000_0000 + i * PAGE_4K + 0x42);
+        }
+        // All subsequent walks in the region hit the cached PT entry.
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 8);
+        // An unmapped sibling in the same region is answered (as a fault)
+        // from the cache too.
+        assert_walk_equal(&t, &mut cache, 0x4000_0000 + 100 * PAGE_4K);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn walk_cache_reads_new_leaves_through_without_invalidation() {
+        let (mut f, mut t) = setup();
+        map4k(&mut t, &mut f, 0x4000_0000, NodeId(0));
+        let mut cache = WalkCache::new();
+        assert_walk_equal(&t, &mut cache, 0x4000_0000);
+        // A demand fault installs a sibling; no generation bump happens and
+        // the cached PT entry resolves the new leaf live.
+        map4k(&mut t, &mut f, 0x4000_0000 + PAGE_4K, NodeId(1));
+        assert_eq!(t.generation(), 0);
+        assert_walk_equal(&t, &mut cache, 0x4000_0000 + PAGE_4K);
+        assert_eq!(cache.invalidations(), 0);
+    }
+
+    #[test]
+    fn walk_cache_invalidated_on_split() {
+        let (mut f, mut t) = setup();
+        let frame = f.alloc(NodeId(0), PageSize::Size2M).unwrap();
+        t.map(
+            Mapping {
+                vbase: VirtAddr(0x8000_0000),
+                frame,
+                node: NodeId(0),
+                size: PageSize::Size2M,
+            },
+            &mut f,
+            NodeId(0),
+        )
+        .unwrap();
+        let mut cache = WalkCache::new();
+        assert_walk_equal(&t, &mut cache, 0x8000_1234);
+        assert_eq!(cache.len(), 1);
+        t.split(VirtAddr(0x8000_0000), &mut f).unwrap();
+        // The cached huge entry must not survive: the next walk sees the
+        // 4 KiB children.
+        assert_walk_equal(&t, &mut cache, 0x8000_1234);
+        assert!(cache.invalidations() >= 1);
+        let m = t
+            .walk_cached(VirtAddr(0x8000_1234), &mut cache)
+            .mapping
+            .unwrap();
+        assert_eq!(m.size, PageSize::Size4K);
+    }
+
+    #[test]
+    fn walk_cache_invalidated_on_remap() {
+        let (mut f, mut t) = setup();
+        let frame = f.alloc(NodeId(0), PageSize::Size2M).unwrap();
+        t.map(
+            Mapping {
+                vbase: VirtAddr(0x8000_0000),
+                frame,
+                node: NodeId(0),
+                size: PageSize::Size2M,
+            },
+            &mut f,
+            NodeId(0),
+        )
+        .unwrap();
+        let mut cache = WalkCache::new();
+        assert_walk_equal(&t, &mut cache, 0x8000_0000);
+        // Migration rewrites the leaf in place; a stale cached mapping
+        // would report the old node.
+        let new_frame = f.alloc(NodeId(1), PageSize::Size2M).unwrap();
+        t.remap(VirtAddr(0x8000_0000), new_frame, NodeId(1))
+            .unwrap();
+        let m = t
+            .walk_cached(VirtAddr(0x8000_0042), &mut cache)
+            .mapping
+            .unwrap();
+        assert_eq!(m.node, NodeId(1));
+        assert_eq!(m.frame, new_frame);
+        assert_walk_equal(&t, &mut cache, 0x8000_0042);
+    }
+
+    #[test]
+    fn walk_cache_invalidated_on_collapse() {
+        let (mut f, mut t) = setup();
+        for i in 0..512u64 {
+            map4k(&mut t, &mut f, 0x4000_0000 + i * PAGE_4K, NodeId(0));
+        }
+        let mut cache = WalkCache::new();
+        assert_walk_equal(&t, &mut cache, 0x4000_0000);
+        let huge = f.alloc(NodeId(1), PageSize::Size2M).unwrap();
+        t.collapse(VirtAddr(0x4000_0000), PageSize::Size2M, huge, NodeId(1))
+            .unwrap();
+        // A stale PT entry would read the abandoned child table's leaves.
+        let m = t
+            .walk_cached(VirtAddr(0x4000_1000), &mut cache)
+            .mapping
+            .unwrap();
+        assert_eq!(m.size, PageSize::Size2M);
+        assert_eq!(m.node, NodeId(1));
+        assert_walk_equal(&t, &mut cache, 0x4000_1000);
+    }
+
+    #[test]
+    fn walk_cache_covers_giant_leaves() {
+        let (mut f, mut t) = setup();
+        let frame = f.alloc(NodeId(1), PageSize::Size1G).unwrap();
+        t.map(
+            Mapping {
+                vbase: VirtAddr(0x40_0000_0000),
+                frame,
+                node: NodeId(1),
+                size: PageSize::Size1G,
+            },
+            &mut f,
+            NodeId(1),
+        )
+        .unwrap();
+        let mut cache = WalkCache::new();
+        // Two different 2 MiB regions of the same giant page: one cache
+        // entry each, both two-step walks.
+        assert_walk_equal(&t, &mut cache, 0x40_0000_0042);
+        assert_walk_equal(&t, &mut cache, 0x40_0020_0042);
+        assert_eq!(cache.len(), 2);
+        let w = t.walk_cached(VirtAddr(0x40_0000_0042), &mut cache);
+        assert_eq!(w.steps().len(), 2);
+        assert_eq!(w.mapping.unwrap().size, PageSize::Size1G);
     }
 
     #[test]
