@@ -13,6 +13,7 @@ use carrefour_bench::runner::{self, Progress, TimedCell};
 use std::collections::HashMap;
 
 fn main() {
+    let compare = compare_from_args();
     let jobs = runner::default_jobs();
     let host_cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -56,6 +57,166 @@ fn main() {
     }
 
     write_bench_runner_json(&exps, &exp_slots, &timed, jobs, host_cores, total_wall_secs);
+
+    if let Some(path) = compare {
+        compare_against_baseline(&path, &exps, &exp_slots, &timed, total_wall_secs);
+    }
+}
+
+/// Parses `--compare <path>` / `--compare=<path>` out of the arguments.
+fn compare_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--compare" {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix("--compare=") {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Pulls `"key": <float>` out of a JSON object line (our own stable
+/// format — see `write_bench_runner_json` — so a full parser is not
+/// needed and the build stays dependency-free).
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Pulls `"key": "<string>"` out of a JSON object line.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Compares this run's per-experiment wall-clock against a committed
+/// baseline (`results/BENCH_baseline.json`, any `bench-runner-v*`
+/// schema) and prints a speedup/regression table to stderr.
+///
+/// Regressions beyond 25 % are reported as warnings (GitHub `::warning::`
+/// annotations in CI) but never change the exit code: wall-clock on
+/// shared runners is noisy, and a hard gate on it would flake. Only
+/// experiments that own cells in *both* runs are compared — a `0.000`
+/// baseline (fully deduped experiment) has no meaningful ratio.
+fn compare_against_baseline(
+    path: &str,
+    exps: &[experiments::Experiment],
+    exp_slots: &[Vec<usize>],
+    timed: &[TimedCell],
+    total_wall_secs: f64,
+) {
+    let Ok(base) = std::fs::read_to_string(path) else {
+        eprintln!("[all] --compare: cannot read {path}; skipping comparison");
+        return;
+    };
+    let mut base_exps: HashMap<String, f64> = HashMap::new();
+    let mut base_total: Option<f64> = None;
+    let mut in_experiments = false;
+    for line in base.lines() {
+        if let Some(t) = json_f64(line, "total_wall_secs") {
+            base_total = Some(t);
+        }
+        if line.contains("\"experiments\": [") {
+            in_experiments = true;
+            continue;
+        }
+        if in_experiments {
+            if line.trim_start().starts_with(']') {
+                in_experiments = false;
+                continue;
+            }
+            if let (Some(name), Some(secs)) =
+                (json_str(line, "name"), json_f64(line, "wall_secs"))
+            {
+                base_exps.insert(name, secs);
+            }
+        }
+    }
+    let owner = owners(exp_slots, timed.len());
+    eprintln!("[all] comparison against {path}:");
+    let mut regressions = 0usize;
+    for (i, e) in exps.iter().enumerate() {
+        let now = owned_secs(&owner, timed, i);
+        let Some(&before) = base_exps.get(e.name) else {
+            continue;
+        };
+        if before <= 0.0 || now <= 0.0 {
+            continue; // fully deduped on one side: no meaningful ratio
+        }
+        let ratio = before / now;
+        let note = if now > before * 1.25 {
+            regressions += 1;
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
+        eprintln!(
+            "[all]   {:<12} {:>8.3}s -> {:>8.3}s  ({:.2}x){}",
+            e.name, before, now, ratio, note
+        );
+    }
+    if let Some(bt) = base_total {
+        if bt > 0.0 && total_wall_secs > 0.0 {
+            eprintln!(
+                "[all]   {:<12} {:>8.3}s -> {:>8.3}s  ({:.2}x)",
+                "TOTAL",
+                bt,
+                total_wall_secs,
+                bt / total_wall_secs
+            );
+            if total_wall_secs > bt * 1.25 {
+                regressions += 1;
+            }
+        }
+    }
+    if regressions > 0 {
+        // Soft failure: annotate, never gate (wall clock is noisy).
+        println!(
+            "::warning::all_experiments is >25% slower than {path} in {regressions} row(s); \
+             see the comparison table in the job log"
+        );
+    }
+}
+
+/// First-submitter attribution: `owner[slot]` is the index of the first
+/// experiment that submitted the unique cell in `slot`.
+fn owners(exp_slots: &[Vec<usize>], n_cells: usize) -> Vec<usize> {
+    let mut owner = vec![usize::MAX; n_cells];
+    for (ei, slots) in exp_slots.iter().enumerate() {
+        for &s in slots {
+            if owner[s] == usize::MAX {
+                owner[s] = ei;
+            }
+        }
+    }
+    owner
+}
+
+/// Wall-clock seconds of the unique cells owned by experiment `i`.
+/// Exactly `0.0` (positive zero) when it owns none: f64's empty-sum
+/// identity is `-0.0`, which would otherwise print as `-0.000`.
+fn owned_secs(owner: &[usize], timed: &[TimedCell], i: usize) -> f64 {
+    let s: f64 = owner
+        .iter()
+        .zip(timed)
+        .filter(|(&o, _)| o == i)
+        .map(|(_, t)| t.wall_secs)
+        .sum();
+    if s <= 0.0 {
+        0.0
+    } else {
+        s
+    }
 }
 
 /// Writes `results/BENCH_runner.json` (best effort, like `save_json`).
@@ -70,7 +231,7 @@ fn write_bench_runner_json(
 ) {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"bench-runner-v1\",\n");
+    out.push_str("  \"schema\": \"bench-runner-v2\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str(&format!("  \"total_wall_secs\": {total_wall_secs:.3},\n"));
@@ -79,30 +240,20 @@ fn write_bench_runner_json(
     out.push_str(&format!("  \"submitted_cells\": {submitted},\n"));
     // Attribute each unique cell's cost to the first experiment that
     // submitted it, so per-experiment seconds sum to the cell total.
-    let mut owner = vec![usize::MAX; timed.len()];
-    for (ei, slots) in exp_slots.iter().enumerate() {
-        for &s in slots {
-            if owner[s] == usize::MAX {
-                owner[s] = ei;
-            }
-        }
-    }
+    let owner = owners(exp_slots, timed.len());
     out.push_str("  \"experiments\": [\n");
     for (i, (e, slots)) in exps.iter().zip(exp_slots).enumerate() {
-        // `.max(0.0)`: an experiment whose cells are all dedup'd away owns
-        // nothing, and f64's empty-sum identity is -0.0.
-        let owned_secs: f64 = owner
-            .iter()
-            .zip(timed)
-            .filter(|(&o, _)| o == i)
-            .map(|(_, t)| t.wall_secs)
-            .sum::<f64>()
-            .max(0.0);
+        // An experiment whose cells all landed in earlier experiments'
+        // slots owns nothing: wall_secs is a positive 0.000 (the naive
+        // f64 sum is -0.0, which printed as "-0.000" under schema v1)
+        // and reused_cells records how many of its cells were deduped.
+        let reused = slots.iter().filter(|&&s| owner[s] != i).count();
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cells\": {}, \"wall_secs\": {:.3}}}{}\n",
+            "    {{\"name\": \"{}\", \"cells\": {}, \"reused_cells\": {}, \"wall_secs\": {:.3}}}{}\n",
             esc(e.name),
             slots.len(),
-            owned_secs,
+            reused,
+            owned_secs(&owner, timed, i),
             if i + 1 < exps.len() { "," } else { "" }
         ));
     }

@@ -251,6 +251,9 @@ pub struct Progress {
     label: String,
     total: usize,
     done: AtomicUsize,
+    /// Simulated ops completed so far (for the throughput column; cells
+    /// report their op count via [`Progress::cell_done_ops`]).
+    ops: std::sync::atomic::AtomicU64,
     start: Instant,
     quiet: bool,
 }
@@ -263,6 +266,7 @@ impl Progress {
             label: label.to_string(),
             total,
             done: AtomicUsize::new(0),
+            ops: std::sync::atomic::AtomicU64::new(0),
             start: Instant::now(),
             quiet: std::env::var_os("CARREFOUR_QUIET").is_some_and(|v| v == "1"),
         }
@@ -270,16 +274,39 @@ impl Progress {
 
     /// Records one finished cell and prints a progress line.
     pub fn cell_done(&self, what: &str) {
+        self.cell_done_ops(what, 0);
+    }
+
+    /// Records one finished cell that simulated `ops` memory operations.
+    /// The progress line carries cumulative throughput (simulated ops per
+    /// host second, when op counts are reported) and an ETA extrapolated
+    /// from the mean cell cost so far. Output is explicitly flushed so
+    /// piped logs (CI, `tee`) stay live.
+    pub fn cell_done_ops(&self, what: &str, ops: u64) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total_ops = self.ops.fetch_add(ops, Ordering::Relaxed) + ops;
         if !self.quiet {
-            eprintln!(
-                "[{}] {}/{} {:.1}s  {}",
-                self.label,
-                done,
-                self.total,
-                self.start.elapsed().as_secs_f64(),
-                what
+            use std::io::Write;
+            let secs = self.start.elapsed().as_secs_f64();
+            let mut line = format!(
+                "[{}] {}/{} {:.1}s",
+                self.label, done, self.total, secs
             );
+            if total_ops > 0 && secs > 0.0 {
+                line.push_str(&format!(
+                    "  {:.2} Mops/s",
+                    total_ops as f64 / secs / 1e6
+                ));
+            }
+            if done < self.total && secs > 0.0 {
+                let eta = secs / done as f64 * (self.total - done) as f64;
+                line.push_str(&format!("  eta {eta:.0}s"));
+            }
+            line.push_str("  ");
+            line.push_str(what);
+            let mut err = std::io::stderr().lock();
+            let _ = writeln!(err, "{line}");
+            let _ = err.flush();
         }
     }
 
@@ -320,7 +347,7 @@ pub fn run_cells_timed(specs: &[CellSpec], jobs: usize, progress: &Progress) -> 
         let t = Instant::now();
         let result = run_spec(spec);
         let wall_secs = t.elapsed().as_secs_f64();
-        progress.cell_done(&spec.describe());
+        progress.cell_done_ops(&spec.describe(), result.lifetime.total_ops);
         TimedCell {
             cell: Cell {
                 machine: spec.machine.name().to_string(),

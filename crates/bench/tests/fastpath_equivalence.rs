@@ -1,0 +1,206 @@
+//! Fast-path-vs-per-op equivalence of the engine's batched access stream.
+//!
+//! The engine's `run_block` fast path (DESIGN.md §10, "Fast path
+//! soundness") memoizes epoch-stable uncached outcomes, bulk-charges
+//! stable L1-MRU hits, and skips the IBS sampler ahead — all claimed
+//! bit-identical to the per-op path. `CARREFOUR_NO_FASTPATH=1` forces the
+//! per-op path; these tests run both and assert full `SimResult` equality
+//! (`PartialEq` covers every per-epoch record and lifetime counter).
+//!
+//! The targeted scenarios pin the invalidation edge cases where a stale
+//! memo would be visible: replica collapse on store (remaps mid-epoch),
+//! shootdowns during a multi-threaded epoch (migration remaps), and
+//! demote-then-repromote (split followed by khugepaged collapse). Each
+//! test also asserts the scenario actually fired, so a policy change that
+//! silences the trigger fails loudly instead of hollowing out the test.
+
+use carrefour::Carrefour;
+use carrefour_bench::runner::{self, CellSpec, Progress, Workload};
+use carrefour_bench::PolicyKind;
+use engine::{FaultConfig, NumaPolicy, SimConfig, SimResult, Simulation};
+use numa_topology::MachineSpec;
+use proptest::prelude::*;
+use std::sync::Mutex;
+use vmem::ThpControls;
+use workloads::{AccessPattern, RegionSpec, WorkloadSpec};
+
+const BASE: u64 = 64 << 30;
+
+/// Serializes tests that flip `CARREFOUR_NO_FASTPATH`: the engine reads
+/// the variable per run, and cargo runs tests in this binary on threads.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `specs` sequentially twice — fast path on, then forced off — and
+/// asserts the result rows are bit-identical. Returns the fast-path rows
+/// so callers can assert their scenario actually triggered.
+fn assert_fastpath_equivalent(specs: &[CellSpec]) -> Vec<SimResult> {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("CARREFOUR_QUIET", "1");
+    std::env::remove_var("CARREFOUR_NO_FASTPATH");
+    let pf = Progress::new("fp-on", specs.len());
+    let fast = runner::run_cells(specs, 1, &pf);
+    std::env::set_var("CARREFOUR_NO_FASTPATH", "1");
+    let ps = Progress::new("fp-off", specs.len());
+    let slow = runner::run_cells(specs, 1, &ps);
+    std::env::remove_var("CARREFOUR_NO_FASTPATH");
+    assert_eq!(fast.len(), slow.len());
+    for (cf, cs) in fast.iter().zip(&slow) {
+        assert_eq!(
+            cf.result, cs.result,
+            "fast path diverged from per-op path for {}/{}",
+            cf.benchmark, cf.policy
+        );
+    }
+    fast.into_iter().map(|c| c.result).collect()
+}
+
+/// A small multi-threaded workload over one region.
+fn spec(name: &str, mib: u64, pattern: AccessPattern, write_fraction: f64) -> WorkloadSpec {
+    let machine = MachineSpec::test_machine();
+    WorkloadSpec {
+        name: name.to_string(),
+        threads: machine.total_cores(),
+        regions: vec![RegionSpec {
+            base: BASE,
+            bytes: mib << 20,
+            share: 1.0,
+            pattern,
+            alloc_skew: 0.0,
+            loader_headers: 0.0,
+            rw_shared: true,
+            read_only: false,
+        }],
+        ops_per_round: 400,
+        compute_rounds: 10,
+        think_cycles_per_op: 10,
+        write_fraction,
+        phases: Vec::new(),
+        mlp: 1,
+    }
+}
+
+fn cell(workload: WorkloadSpec, kind: PolicyKind, faults: Option<FaultConfig>) -> CellSpec {
+    CellSpec {
+        machine: MachineSpec::test_machine(),
+        workload: Workload::Custom(workload),
+        kind,
+        seed: Some(7),
+        faults,
+        label: None,
+    }
+}
+
+/// Runs one `Simulation` twice — fast path on, then forced off — with a
+/// fresh policy instance each time, and asserts bit-identical results.
+/// Direct `Simulation::run` variant of [`assert_fastpath_equivalent`] for
+/// scenarios that need a hand-configured policy (e.g. replication, which
+/// no `PolicyKind` enables).
+fn assert_sim_equivalent(
+    machine: &MachineSpec,
+    spec: &WorkloadSpec,
+    config: &SimConfig,
+    mut make_policy: impl FnMut() -> Box<dyn NumaPolicy>,
+) -> SimResult {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::remove_var("CARREFOUR_NO_FASTPATH");
+    let fast = Simulation::run(machine, spec, config, make_policy().as_mut());
+    std::env::set_var("CARREFOUR_NO_FASTPATH", "1");
+    let slow = Simulation::run(machine, spec, config, make_policy().as_mut());
+    std::env::remove_var("CARREFOUR_NO_FASTPATH");
+    assert_eq!(fast, slow, "fast path diverged from per-op path");
+    fast
+}
+
+/// Replica collapse on store: Carrefour-with-replication replicates
+/// read-mostly shared pages, and a later store collapses the replica set —
+/// a mid-epoch remap that must invalidate the uncached-outcome memo and
+/// the walk cache. (Replication is off in every `PolicyKind`, so this
+/// scenario drives `Simulation::run` directly.)
+#[test]
+fn replica_collapse_on_store_is_bit_identical() {
+    let machine = MachineSpec::test_machine();
+    // A large loader-built shared region (skewed onto node 0 so LAR is low
+    // and the policy engages) with rare stores: pages look read-only long
+    // enough to replicate, and the residual 1 % real stores then hit the
+    // replicas and collapse them.
+    let mut w = spec("replica-collapse", 32, AccessPattern::SharedUniform, 0.01);
+    w.regions[0].alloc_skew = 1.0;
+    w.ops_per_round = 1000;
+    w.compute_rounds = 150;
+    let mut config = SimConfig::for_machine(&machine, ThpControls::small_only());
+    // Dense sampling: replication coverage is sample-bound.
+    config.ibs.period = 32;
+    let r = assert_sim_equivalent(&machine, &w, &config, || {
+        Box::new(Carrefour::with_replication())
+    });
+    let vm = &r.lifetime.vmem;
+    assert!(vm.replications > 0, "scenario did not replicate: {vm:?}");
+    assert!(
+        vm.replica_collapses > 0,
+        "scenario did not collapse a replica on store: {vm:?}"
+    );
+}
+
+/// Shootdowns during a multi-threaded epoch: migrations remap pages while
+/// every core is mid-stream, so each shootdown must clear the memo table
+/// for all threads, not just the migrating one. The region is skewed onto
+/// node 0 and larger than the combined L3, so DRAM-serviced samples engage
+/// Carrefour and its interleaving migrates pages mid-run.
+#[test]
+fn shootdown_during_multithread_epoch_is_bit_identical() {
+    let mut w = spec("shootdown", 32, AccessPattern::SharedUniform, 0.4);
+    w.regions[0].alloc_skew = 1.0;
+    w.ops_per_round = 1000;
+    w.compute_rounds = 150;
+    assert!(w.threads > 1, "scenario needs multiple threads");
+    let results = assert_fastpath_equivalent(&[cell(w, PolicyKind::Carrefour4k, None)]);
+    let vm = &results[0].lifetime.vmem;
+    assert!(
+        vm.migrations_4k + vm.migrations_2m > 0,
+        "scenario did not migrate (no shootdowns exercised): {vm:?}"
+    );
+}
+
+/// Demote-then-repromote: Carrefour-LP splits a hot huge page, khugepaged
+/// later re-collapses the run — two generation bumps bracketing epochs in
+/// which the 4 KiB children are accessed through the fast path.
+#[test]
+fn demote_then_repromote_is_bit_identical() {
+    let w = spec("demote-repromote", 8, AccessPattern::SharedUniform, 0.5);
+    let results = assert_fastpath_equivalent(&[cell(w, PolicyKind::CarrefourLp, None)]);
+    let vm = &results[0].lifetime.vmem;
+    assert!(vm.splits > 0, "scenario did not split a huge page: {vm:?}");
+    assert!(
+        vm.collapses > 0,
+        "scenario did not re-promote after the split: {vm:?}"
+    );
+}
+
+proptest! {
+    /// Random workload shapes, seeds, policies, and **nonzero fault
+    /// plans** produce bit-identical `SimResult`s with the fast path on
+    /// and off. Fault injection is the nastiest case: injected failures
+    /// (busy pins, allocation vetoes, dropped samples) perturb policy
+    /// actions mid-epoch, exactly where a stale memo would surface.
+    #[test]
+    fn fastpath_is_bit_identical_under_faults(
+        mib in 2u64..6,
+        seed in 0u64..=u64::MAX,
+        fault_seed in 1u64..u64::MAX,
+        rate in 0.01f64..0.5,
+        write_fraction in 0.0f64..0.6,
+        pattern in [AccessPattern::PrivateSlices, AccessPattern::SharedUniform, AccessPattern::Stream { stride: 64 }].as_slice(),
+        kind in [
+            PolicyKind::Linux4k,
+            PolicyKind::LinuxThp,
+            PolicyKind::Carrefour4k,
+            PolicyKind::CarrefourLp,
+            PolicyKind::CarrefourLpNoRetry,
+        ].as_slice(),
+    ) {
+        let w = spec("fp-prop", mib, pattern, write_fraction);
+        let mut c = cell(w, kind, Some(FaultConfig::uniform(fault_seed, rate)));
+        c.seed = Some(seed);
+        assert_fastpath_equivalent(&[c]);
+    }
+}

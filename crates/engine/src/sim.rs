@@ -5,7 +5,7 @@ use crate::faults::FaultPlan;
 use crate::policy::{ActionError, EpochCtx, FailedAction, NumaPolicy, PolicyAction};
 use crate::result::{EpochRecord, LifetimeStats, PageMetrics, RobustnessStats, SimResult};
 use crate::trace::{EpochSnap, TraceEvent, TraceSink};
-use memsys::{AccessKind, MemorySystem};
+use memsys::{AccessKind, AccessOutcome, MemorySystem, ServiceLevel};
 use numa_topology::{CoreId, MachineSpec, NodeId};
 use profiling::{metrics, CoreFaultTime, EpochCounters, IbsSample, IbsSampler, PageAccessStats};
 use vmem::{AddressSpace, Mapping, PageSize, SpaceError, Tlb, TlbLookup, VirtAddr, WalkCache};
@@ -55,6 +55,24 @@ struct SimState<'m, 't> {
     trace: Option<&'t mut dyn TraceSink>,
     /// Index of the epoch currently accumulating (for event attribution).
     epoch: u32,
+    /// Batched fast path enabled (default; `CARREFOUR_NO_FASTPATH=1`
+    /// falls back to the per-op path, which is bit-identical).
+    fast_on: bool,
+    /// Epoch-scoped memo of uncached-access outcomes per
+    /// `(from_node, home_node)` pair. Within an epoch the outcome is a pure
+    /// function of the pair (controller and link delays only change at
+    /// epoch end), so it is computed once and repeats are bulk-charged.
+    /// Cleared at every epoch boundary and on any TLB shootdown.
+    fast_uncached: Vec<Option<AccessOutcome>>,
+    /// Per-home-node pending uncached accesses of the block in flight,
+    /// flushed via [`MemorySystem::charge_uncached_n`] at block end.
+    fast_pending: Vec<u64>,
+    /// Node count (stride of the `fast_uncached` matrix).
+    fast_nodes: usize,
+    /// log2 of the L1 line size, for same-line detection.
+    l1_line_shift: u32,
+    /// L1 hit latency in cycles (the outcome of a stable hit).
+    l1_latency: u32,
 }
 
 /// Maps a vmem error to the action-level error a policy sees.
@@ -164,6 +182,19 @@ impl<'m, 't> SimState<'m, 't> {
     ) -> Mapping {
         let core = CoreId::from(thread);
         let walk = self.space.walk_cached(vaddr, &mut self.walk_cache);
+        // Every step address is known before any is charged: prefetch all
+        // their cache sets (host-side only, no simulated effect) so the
+        // random, usually host-cold set loads overlap instead of
+        // serializing through the replay loop below. The caller's data
+        // access follows right after the walk, and its physical address is
+        // already determined by the walked mapping — warm its sets too,
+        // with the whole step replay as the overlap window.
+        for step in walk.steps() {
+            self.mem.prefetch_access(core, step.pte_addr.0);
+        }
+        if let Some(m) = walk.mapping {
+            self.mem.prefetch_access(core, m.translate(vaddr).0);
+        }
         for step in walk.steps() {
             let out = self
                 .mem
@@ -212,6 +243,180 @@ impl<'m, 't> SimState<'m, 't> {
         for t in &mut self.tlbs {
             t.invalidate(vbase, size);
         }
+        // A shootdown accompanies every remap (split, migration, replica
+        // collapse), any of which can change a page's home node. The memo
+        // itself only depends on epoch-constant delays, but dropping it
+        // here keeps the invalidation rule simple: any remap, any epoch
+        // boundary.
+        self.fast_uncached.fill(None);
+    }
+
+    /// Executes a batch of operations for `thread`; returns their total
+    /// cycle cost. The batched equivalent of per-op [`SimState::run_op`]
+    /// calls — bit-identical by construction (see DESIGN.md §10):
+    ///
+    /// * **Uncached stores** — within an epoch, controller queueing and
+    ///   link congestion delays are constant, so the outcome of an
+    ///   uncached access is a pure function of `(from_node, home_node)`.
+    ///   The first one is computed via [`MemorySystem::peek_uncached`] and
+    ///   memoized; repeats are counted and bulk-charged at block end with
+    ///   [`MemorySystem::charge_uncached_n`] (counters are sums, so order
+    ///   does not matter within the epoch).
+    /// * **Stable L1 hits** — after any data access, the accessed line is
+    ///   the MRU way of this core's L1 (hits rotate to front, misses fill
+    ///   at front). A consecutive access to the same line by the same
+    ///   core with no intervening hierarchy activity is therefore an L1
+    ///   hit that changes nothing but the hit counter; such repeats are
+    ///   charged `l1_latency` directly and the counter is bulk-added at
+    ///   block end. A page walk runs hierarchy accesses on this core, so
+    ///   it ends the run.
+    /// * **IBS skip-ahead** — the sampler countdown is mirrored in a
+    ///   local; unsampled ops are batched into one
+    ///   [`IbsSampler::advance_unsampled`] and the sample fires via
+    ///   [`IbsSampler::take_sample`] at exactly the op index where
+    ///   [`IbsSampler::observe`] would have fired it.
+    fn run_block(&mut self, thread: usize, ops: &[workloads::Op], faulting_threads: usize) -> u64 {
+        if !self.fast_on {
+            let mut c: u64 = 0;
+            for &op in ops {
+                c += self.run_op(thread, op, faulting_threads);
+            }
+            return c;
+        }
+        let core = CoreId::from(thread);
+        let node = self.machine.node_of_core(core);
+        let nodes = self.fast_nodes;
+        let line_shift = self.l1_line_shift;
+        let mut cycles_total: u64 = 0;
+        // IBS skip-ahead locals, synced at sample points and at block end.
+        let mut until = self.sampler.until_next();
+        let period = self.sampler.period();
+        let mut unsampled: u64 = 0;
+        // The line currently at the MRU way of this core's L1, if known.
+        let mut stable_line: Option<u64> = None;
+        let mut pending_l1: u64 = 0;
+
+        for &op in ops {
+            let vaddr = VirtAddr(op.vaddr);
+            let mut cycles: u64 = 0;
+
+            // 1. Address translation (identical to run_op).
+            let mapping = match self.tlbs[thread].lookup(vaddr) {
+                TlbLookup::HitL1(m) => m,
+                TlbLookup::HitL2(m) => {
+                    cycles += u64::from(self.l2_tlb_hit_cycles);
+                    m
+                }
+                TlbLookup::Miss => {
+                    cycles += u64::from(self.l2_tlb_hit_cycles);
+                    let m = self.walk_and_maybe_fault(
+                        thread,
+                        vaddr,
+                        node,
+                        faulting_threads,
+                        &mut cycles,
+                    );
+                    self.tlbs[thread].insert(m);
+                    // The walk probed the hierarchy on this core: the L1's
+                    // MRU way may have changed.
+                    stable_line = None;
+                    m
+                }
+            };
+
+            // 1b. Replication (identical to run_op).
+            let mapping = if self.space.has_replicas() && mapping.size == PageSize::Size4K {
+                if op.is_write && self.space.is_replicated(mapping.vbase) {
+                    cycles += self.space.collapse_replicas(mapping.vbase);
+                    self.shootdown(mapping.vbase, mapping.size);
+                    stable_line = None;
+                    let epoch = self.epoch;
+                    self.emit(|| TraceEvent::ReplicaCollapse {
+                        epoch,
+                        vbase: mapping.vbase.0,
+                    });
+                    mapping
+                } else {
+                    self.space.resolve_replica(mapping, node)
+                }
+            } else {
+                mapping
+            };
+
+            // 2. Data access, memoized where the replay is idempotent.
+            let out = if op.coherent_store {
+                let key = node.index() * nodes + mapping.node.index();
+                let out = match self.fast_uncached[key] {
+                    Some(o) => o,
+                    None => {
+                        let o = self.mem.peek_uncached(core, mapping.node);
+                        self.fast_uncached[key] = Some(o);
+                        o
+                    }
+                };
+                self.fast_pending[mapping.node.index()] += 1;
+                out
+            } else {
+                let paddr = mapping.translate(vaddr);
+                let line = paddr.0 >> line_shift;
+                if stable_line == Some(line) {
+                    pending_l1 += 1;
+                    AccessOutcome {
+                        cycles: self.l1_latency,
+                        level: ServiceLevel::L1,
+                        from_node: node,
+                        home_node: mapping.node,
+                    }
+                } else {
+                    let out = self.mem.access(core, paddr.0, mapping.node, AccessKind::Data);
+                    stable_line = Some(line);
+                    out
+                }
+            };
+            if out.dram() {
+                let overlap = if op.prefetched { 4 } else { self.mlp };
+                cycles += u64::from(out.cycles) / overlap;
+            } else {
+                cycles += u64::from(out.cycles);
+            }
+
+            // 3. Observation channels.
+            if until == 1 {
+                self.sampler.advance_unsampled(unsampled);
+                unsampled = 0;
+                self.sampler.take_sample(|| IbsSample {
+                    vaddr,
+                    accessing_node: node,
+                    thread: thread as u16,
+                    home_node: mapping.node,
+                    from_dram: out.dram(),
+                    is_store: op.is_write,
+                    page_size: mapping.size,
+                });
+                until = period;
+            } else {
+                until -= 1;
+                unsampled += 1;
+            }
+            if let Some(stats) = self.page_stats.as_mut() {
+                stats.record(vaddr, thread as u16);
+            }
+            cycles_total += cycles;
+        }
+
+        // Flush the block's bulk charges.
+        self.sampler.advance_unsampled(unsampled);
+        if pending_l1 > 0 {
+            self.mem.charge_l1_hits_n(core, pending_l1);
+        }
+        for home in 0..nodes {
+            let n = self.fast_pending[home];
+            if n > 0 {
+                self.fast_pending[home] = 0;
+                self.mem.charge_uncached_n(core, NodeId::from(home), n);
+            }
+        }
+        cycles_total
     }
 
     /// Applies policy actions; returns (migrations, splits, cost cycles).
@@ -478,6 +683,11 @@ impl Simulation {
         }
         setup(&mut space);
 
+        // Kill-switch for the batched fast path: results are bit-identical
+        // either way (proptest-enforced), so the per-op path exists only
+        // for debugging and differential testing.
+        let fast_on = std::env::var("CARREFOUR_NO_FASTPATH").map_or(true, |v| v != "1");
+        let nodes = machine.num_nodes();
         let mut st = SimState {
             machine,
             mlp: u64::from(spec.mlp.max(1)),
@@ -498,6 +708,12 @@ impl Simulation {
             robust: RobustnessStats::default(),
             trace: sink,
             epoch: 0,
+            fast_on,
+            fast_uncached: vec![None; nodes * nodes],
+            fast_pending: vec![0; nodes],
+            fast_nodes: nodes,
+            l1_line_shift: config.memsys.l1.line_bytes.trailing_zeros(),
+            l1_latency: config.memsys.l1_latency,
         };
         // A policy that never reads samples (and no fault filter to feed)
         // makes sample storage dead work: elide it. The NMI count and its
@@ -546,6 +762,8 @@ impl Simulation {
         // retry machinery stays dormant and zero-fault behaviour is
         // bit-identical to the pre-fault-layer engine).
         let mut last_failures: Vec<FailedAction> = Vec::new();
+        // Reusable op buffer: one block of the access stream at a time.
+        let mut block: Vec<workloads::Op> = Vec::new();
 
         for round in 0..total_rounds {
             let faulting = (0..spec.threads).filter(|&t| gen.in_alloc_phase(t)).count();
@@ -561,12 +779,8 @@ impl Simulation {
                 // thread systematically wins first-touch races.
                 for k in 0..spec.threads {
                     let t = (k + cycle_idx) % spec.threads;
-                    let mut c = 0;
-                    for _ in 0..n {
-                        let op = gen.next_op(t);
-                        c += st.run_op(t, op, faulting) + think;
-                    }
-                    t_cycles[t] += c;
+                    gen.next_block(t, n as usize, &mut block);
+                    t_cycles[t] += st.run_block(t, &block, faulting) + think * n;
                 }
                 issued += n;
                 cycle_idx += 1;
@@ -688,6 +902,9 @@ impl Simulation {
                 });
             }
             st.mem.end_epoch(epoch_wall);
+            // Controller and link delays just changed: the uncached memo
+            // (a function of those delays) is stale.
+            st.fast_uncached.fill(None);
             epochs.push(EpochRecord {
                 counters,
                 migrations,
@@ -914,6 +1131,47 @@ mod tests {
         let b = run_tiny(ThpControls::thp());
         assert_eq!(a.runtime_cycles, b.runtime_cycles);
         assert_eq!(a.lifetime.ibs_samples, b.lifetime.ibs_samples);
+    }
+
+    #[test]
+    fn fast_path_matches_per_op_path() {
+        // The batched fast path (default) and the per-op path selected by
+        // CARREFOUR_NO_FASTPATH must agree bit-for-bit. Exercise coherent
+        // stores (uncached memo), a prefetched stream, and huge pages.
+        // Setting the env var mid-process is safe precisely because the
+        // two paths are identical: any concurrent test sees equal results.
+        let machine = MachineSpec::test_machine();
+        for pattern in [
+            AccessPattern::SharedUniform,
+            AccessPattern::Stream { stride: 64 },
+            AccessPattern::PrivateSlices,
+        ] {
+            let mut spec = tiny_spec(pattern, 4);
+            spec.regions[0].rw_shared = true;
+            spec.write_fraction = 0.5;
+            let mut config = SimConfig::fast_test();
+            config.vmem.thp = ThpControls::thp();
+            let fast = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+            std::env::set_var("CARREFOUR_NO_FASTPATH", "1");
+            let slow = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+            std::env::remove_var("CARREFOUR_NO_FASTPATH");
+            assert_eq!(fast.runtime_cycles, slow.runtime_cycles);
+            assert_eq!(fast.lifetime.ibs_samples, slow.lifetime.ibs_samples);
+            assert_eq!(fast.lifetime.total_ops, slow.lifetime.total_ops);
+            assert_eq!(fast.lifetime.lar, slow.lifetime.lar);
+            assert_eq!(fast.lifetime.imbalance, slow.lifetime.imbalance);
+            assert_eq!(fast.pages.psp, slow.pages.psp);
+            assert_eq!(fast.pages.pamup, slow.pages.pamup);
+            assert_eq!(fast.epochs.len(), slow.epochs.len());
+            for (a, b) in fast.epochs.iter().zip(slow.epochs.iter()) {
+                assert_eq!(a.counters.epoch_cycles, b.counters.epoch_cycles);
+                assert_eq!(a.counters.l2_accesses, b.counters.l2_accesses);
+                assert_eq!(a.counters.l2_misses, b.counters.l2_misses);
+                assert_eq!(a.counters.dram_local, b.counters.dram_local);
+                assert_eq!(a.counters.dram_remote, b.counters.dram_remote);
+                assert_eq!(a.counters.controller_requests, b.counters.controller_requests);
+            }
+        }
     }
 
     #[test]

@@ -5,12 +5,20 @@ use serde::{Deserialize, Serialize};
 /// A single set-associative cache keyed by cache-line address.
 ///
 /// The cache stores line *tags* only (it models presence, not contents).
-/// Replacement is true LRU within each set, implemented as an ordered vector
-/// with the most-recently-used line at the front — associativities are small
-/// (≤ 32), so a linear scan is faster than any fancier structure.
+/// Replacement is true LRU within each set, kept MRU-first — associativities
+/// are small (≤ 32), so a linear scan is faster than any fancier structure.
+///
+/// Storage is one flat tag array (`ways` slots per set) plus a per-set
+/// occupancy count, not a `Vec` per set: a probe costs one indexed load
+/// instead of a pointer chase through a per-set heap allocation. On big L3
+/// geometries the probe pattern is random, so every dependent load is a
+/// host cache miss — this layout halved the simulator's hot-path cost.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<u64>>,
+    /// Line tags, MRU-first; set `s` owns `tags[s*ways .. s*ways+lens[s]]`.
+    tags: Vec<u64>,
+    /// Valid slots per set (≤ `ways`).
+    lens: Vec<u8>,
     ways: usize,
     set_mask: u64,
     line_shift: u32,
@@ -24,16 +32,19 @@ impl SetAssocCache {
     ///
     /// # Panics
     ///
-    /// Panics if `ways` is zero, or `line_bytes` is not a power of two.
+    /// Panics if `ways` is zero or above 255, or `line_bytes` is not a
+    /// power of two.
     pub fn new(num_sets: usize, ways: usize, line_bytes: usize) -> Self {
         assert!(ways > 0, "cache needs at least one way");
+        assert!(ways <= u8::MAX as usize, "per-set occupancy is a u8");
         assert!(
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
         let num_sets = num_sets.max(1).next_power_of_two();
         SetAssocCache {
-            sets: vec![Vec::new(); num_sets],
+            tags: vec![0; num_sets * ways],
+            lens: vec![0; num_sets],
             ways,
             set_mask: (num_sets - 1) as u64,
             line_shift: line_bytes.trailing_zeros(),
@@ -44,7 +55,7 @@ impl SetAssocCache {
 
     /// Total capacity in bytes.
     pub fn capacity_bytes(&self) -> usize {
-        self.sets.len() * self.ways * (1usize << self.line_shift)
+        self.lens.len() * self.ways * (1usize << self.line_shift)
     }
 
     #[inline]
@@ -60,21 +71,89 @@ impl SetAssocCache {
     pub fn access(&mut self, paddr: u64) -> bool {
         let line = paddr >> self.line_shift;
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let base = idx * self.ways;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|&t| t == line) {
-            // Move to MRU position.
-            let tag = set.remove(pos);
-            set.insert(0, tag);
+            if pos != 0 {
+                // Move to MRU by rotating the prefix: identical ordering to
+                // remove+insert(0), without the double memmove.
+                set[..=pos].rotate_right(1);
+            }
             self.hits += 1;
             true
         } else {
-            if set.len() >= self.ways {
-                set.pop();
+            // Insert at MRU; a full set drops its LRU (last) tag.
+            if len < self.ways {
+                self.lens[idx] = len as u8 + 1;
             }
-            set.insert(0, line);
+            let keep = (self.lens[idx] - 1) as usize;
+            self.tags.copy_within(base..base + keep, base + 1);
+            self.tags[base] = line;
             self.misses += 1;
             false
         }
+    }
+
+    /// Like [`SetAssocCache::access`], additionally reporting whether the
+    /// hit was *stable*: the line was already in the MRU way, so the access
+    /// changed nothing but the hit counter. Returns `(hit, stable)`.
+    #[inline]
+    pub fn access_stable(&mut self, paddr: u64) -> (bool, bool) {
+        let line = paddr >> self.line_shift;
+        let idx = self.set_index(line);
+        let base = idx * self.ways;
+        let len = self.lens[idx] as usize;
+        let set = &mut self.tags[base..base + len];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            if pos != 0 {
+                set[..=pos].rotate_right(1);
+            }
+            self.hits += 1;
+            (true, pos == 0)
+        } else {
+            if len < self.ways {
+                self.lens[idx] = len as u8 + 1;
+            }
+            let keep = (self.lens[idx] - 1) as usize;
+            self.tags.copy_within(base..base + keep, base + 1);
+            self.tags[base] = line;
+            self.misses += 1;
+            (false, false)
+        }
+    }
+
+    /// Adds `n` hits without probing — the bulk-charge path for stable
+    /// (MRU) hits, which change no other state.
+    #[inline]
+    pub fn add_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
+    /// Hints the host CPU to pull this address's set into its cache.
+    ///
+    /// Purely a host-side prefetch: no simulated state or statistics are
+    /// touched. The hierarchy issues these for the L2/L3 sets before the
+    /// serial L1→L2→L3 probe chain, so the (random, usually host-cold)
+    /// set loads overlap instead of serializing.
+    #[inline]
+    pub fn prefetch_probe(&self, paddr: u64) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the prefetched range is the set's tag slots, which always
+        // lie within `tags` (set_index < num_sets), and prefetch has no
+        // architectural effect regardless.
+        unsafe {
+            let line = paddr >> self.line_shift;
+            let base = self.set_index(line) * self.ways;
+            let p = self.tags.as_ptr().add(base) as *const i8;
+            std::arch::x86_64::_mm_prefetch(p, std::arch::x86_64::_MM_HINT_T0);
+            // A set wider than 8 ways spans a second host cache line.
+            if self.ways > 8 {
+                std::arch::x86_64::_mm_prefetch(p.add(64), std::arch::x86_64::_MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = paddr;
     }
 
     /// Checks for presence without updating LRU state or statistics.
@@ -82,16 +161,21 @@ impl SetAssocCache {
     pub fn probe(&self, paddr: u64) -> bool {
         let line = paddr >> self.line_shift;
         let idx = self.set_index(line);
-        self.sets[idx].contains(&line)
+        let base = idx * self.ways;
+        let len = self.lens[idx] as usize;
+        self.tags[base..base + len].contains(&line)
     }
 
     /// Invalidates a line if present; returns `true` if it was present.
     pub fn invalidate(&mut self, paddr: u64) -> bool {
         let line = paddr >> self.line_shift;
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
+        let base = idx * self.ways;
+        let len = self.lens[idx] as usize;
+        let set = &self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|&t| t == line) {
-            set.remove(pos);
+            self.tags.copy_within(base + pos + 1..base + len, base + pos);
+            self.lens[idx] = len as u8 - 1;
             true
         } else {
             false
@@ -100,9 +184,7 @@ impl SetAssocCache {
 
     /// Drops every cached line (e.g. after a wholesale migration).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.lens.fill(0);
     }
 
     /// Lifetime hit count.
@@ -181,6 +263,22 @@ mod tests {
         assert!(c.invalidate(0x100));
         assert!(!c.invalidate(0x100));
         assert!(!c.probe(0x100));
+    }
+
+    #[test]
+    fn invalidate_preserves_lru_order_of_survivors() {
+        let mut c = SetAssocCache::new(1, 3, 64);
+        c.access(0x0);
+        c.access(0x40);
+        c.access(0x80); // MRU-first order: 0x80, 0x40, 0x0
+        assert!(c.invalidate(0x40));
+        // Two survivors + one new line: nothing evicted yet.
+        assert!(!c.access(0xc0)); // order: 0xc0, 0x80, 0x0
+        assert!(c.probe(0x0));
+        // Next fill evicts the LRU survivor (0x0), not 0x80.
+        assert!(!c.access(0x100));
+        assert!(!c.probe(0x0));
+        assert!(c.probe(0x80));
     }
 
     #[test]

@@ -60,6 +60,47 @@ impl CacheHierarchy {
         ServiceLevel::Dram
     }
 
+    /// Like [`CacheHierarchy::access`], additionally reporting whether the
+    /// access was *stable*: serviced by L1 with the line already in the MRU
+    /// way, meaning the probe changed nothing but the L1 hit counter. Only
+    /// L1 hits can be stable — any deeper service level fills lines and
+    /// reorders LRU stacks on the way back.
+    #[inline]
+    pub fn access_stable(&mut self, core: CoreId, node: NodeId, paddr: u64) -> (ServiceLevel, bool) {
+        let (hit, mru) = self.l1[core.index()].access_stable(paddr);
+        if hit {
+            return (ServiceLevel::L1, mru);
+        }
+        if self.l2[core.index()].access(paddr) {
+            return (ServiceLevel::L2, false);
+        }
+        if self.l3[node.index()].access(paddr) {
+            return (ServiceLevel::L3, false);
+        }
+        (ServiceLevel::Dram, false)
+    }
+
+    /// Adds `n` L1 hits for `core` without probing: the bulk-charge
+    /// primitive for stable (MRU) hits, whose replay is a pure counter
+    /// increment.
+    #[inline]
+    pub fn add_l1_hits(&mut self, core: CoreId, n: u64) {
+        self.l1[core.index()].add_hits(n);
+    }
+
+    /// Host-side prefetch of the three sets an access by `core` (on
+    /// `node`) to `paddr` would probe. Touches no simulated state: the
+    /// engine calls this ahead of time — one op ahead for data accesses,
+    /// before the replay loop for page-walk steps — so the three
+    /// independent (and usually host-cold) set loads overlap instead of
+    /// serializing through the L1→L2→L3 probe chain.
+    #[inline]
+    pub fn prefetch_access(&self, core: CoreId, node: NodeId, paddr: u64) {
+        self.l1[core.index()].prefetch_probe(paddr);
+        self.l2[core.index()].prefetch_probe(paddr);
+        self.l3[node.index()].prefetch_probe(paddr);
+    }
+
     /// Invalidates a line everywhere (models the coherence shootdown after a
     /// page migration rewrites its physical frame).
     pub fn invalidate_everywhere(&mut self, paddr: u64) {

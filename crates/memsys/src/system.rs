@@ -76,6 +76,18 @@ impl MemEpochStats {
         self.dram_local += other.dram_local;
         self.dram_remote += other.dram_remote;
     }
+
+    /// Adds `n` copies of a per-access counter `delta` in one step — the
+    /// bulk-charge primitive of the epoch-scoped access fast path. Exactly
+    /// equivalent to merging `delta` `n` times (counters are sums).
+    #[inline]
+    pub fn add_n(&mut self, delta: &MemEpochStats, n: u64) {
+        self.l2_accesses += delta.l2_accesses * n;
+        self.l2_misses += delta.l2_misses * n;
+        self.l2_walk_misses += delta.l2_walk_misses * n;
+        self.dram_local += delta.dram_local * n;
+        self.dram_remote += delta.dram_remote * n;
+    }
 }
 
 /// One controller's view at an epoch boundary, for observability.
@@ -216,6 +228,139 @@ impl MemorySystem {
             from_node: from,
             home_node: home,
         }
+    }
+
+    /// Computes the outcome an uncached access would have, without charging
+    /// it: the read-only companion of [`MemorySystem::access_uncached`].
+    ///
+    /// Within an epoch the result is a pure function of `(core, home)` —
+    /// controller queueing and link congestion delays only change at
+    /// [`MemorySystem::end_epoch`] — so the engine's fast path computes it
+    /// once per `(node, home)` pair per epoch and charges repeats with
+    /// [`MemorySystem::charge_uncached_n`].
+    pub fn peek_uncached(&self, core: CoreId, home: NodeId) -> AccessOutcome {
+        let from = self.core_node[core.index()];
+        let queue = self.controllers[home.index()].current_delay();
+        let route = self.topology.route(from, home);
+        let hops = route.hops();
+        let link_delay = self.links.peek(route);
+        let cycles = self.config.l3_latency
+            + self.config.dram_base_latency
+            + queue
+            + hops * self.config.hop_latency
+            + link_delay;
+        AccessOutcome {
+            cycles,
+            level: ServiceLevel::Dram,
+            from_node: from,
+            home_node: home,
+        }
+    }
+
+    /// Charges `n` uncached accesses from `core` to `home` in bulk: counter
+    /// effects are exactly those of `n` [`MemorySystem::access_uncached`]
+    /// calls (whose per-access outcome [`MemorySystem::peek_uncached`]
+    /// reported). Only valid within one epoch — the caller must flush its
+    /// batch before [`MemorySystem::end_epoch`].
+    pub fn charge_uncached_n(&mut self, core: CoreId, home: NodeId, n: u64) {
+        let from = self.core_node[core.index()];
+        let delta = MemEpochStats {
+            l2_accesses: 1,
+            l2_misses: 1,
+            l2_walk_misses: 0,
+            dram_local: u64::from(from == home),
+            dram_remote: u64::from(from != home),
+        };
+        self.epoch.add_n(&delta, n);
+        self.controllers[home.index()].request_n(n);
+        let route = self.topology.route(from, home);
+        self.links.traverse_n(route, n);
+    }
+
+    /// Performs one data access like [`MemorySystem::access`], additionally
+    /// reporting whether the access left the cache hierarchy's set state
+    /// unchanged (a *stable* hit: L1, already most-recently-used). A stable
+    /// access is idempotent — replaying the same line from the same core
+    /// would produce the same outcome and the same state — which is what
+    /// lets the engine's fast path charge same-line repeats in bulk via
+    /// [`MemorySystem::charge_l1_hits_n`].
+    #[inline]
+    pub fn access_stable(
+        &mut self,
+        core: CoreId,
+        paddr: u64,
+        home: NodeId,
+        kind: AccessKind,
+    ) -> (AccessOutcome, bool) {
+        let from = self.core_node[core.index()];
+        let (level, stable) = self.hierarchy.access_stable(core, from, paddr);
+        if level != ServiceLevel::L1 {
+            self.epoch.l2_accesses += 1;
+        }
+        let cycles = match level {
+            ServiceLevel::L1 => self.config.l1_latency,
+            ServiceLevel::L2 => self.config.l2_latency,
+            ServiceLevel::L3 | ServiceLevel::Dram => {
+                self.epoch.l2_misses += 1;
+                if kind == AccessKind::PageWalk {
+                    self.epoch.l2_walk_misses += 1;
+                }
+                if level == ServiceLevel::L3 {
+                    self.config.l3_latency
+                } else {
+                    if from == home {
+                        self.epoch.dram_local += 1;
+                    } else {
+                        self.epoch.dram_remote += 1;
+                    }
+                    let queue = self.controllers[home.index()].request();
+                    let route = self.topology.route(from, home);
+                    let hops = route.hops();
+                    let link_delay = self.links.traverse(route);
+                    self.config.l3_latency
+                        + self.config.dram_base_latency
+                        + queue
+                        + hops * self.config.hop_latency
+                        + link_delay
+                }
+            }
+        };
+        (
+            AccessOutcome {
+                cycles,
+                level,
+                from_node: from,
+                home_node: home,
+            },
+            stable,
+        )
+    }
+
+    /// Charges `n` stable L1 hits for `core` in bulk: the only state a
+    /// stable hit changes is the L1 hit counter (the line is already MRU,
+    /// and L1 hits touch no epoch counters), so `n` replays collapse to one
+    /// counter addition.
+    #[inline]
+    pub fn charge_l1_hits_n(&mut self, core: CoreId, n: u64) {
+        self.hierarchy.add_l1_hits(core, n);
+    }
+
+    /// The cache line size (bytes) of the first-level cache, for fast-path
+    /// same-line detection.
+    #[inline]
+    pub fn l1_line_bytes(&self) -> u64 {
+        self.config.l1.line_bytes as u64
+    }
+
+    /// Host-side prefetch of the cache sets an access by `core` to `paddr`
+    /// would probe. Touches no simulated state — the engine calls it for
+    /// addresses it is *about* to access (e.g. every step of a page walk
+    /// before replaying them), so the independent set loads overlap
+    /// instead of serializing through the probe chain.
+    #[inline]
+    pub fn prefetch_access(&self, core: CoreId, paddr: u64) {
+        let from = self.core_node[core.index()];
+        self.hierarchy.prefetch_access(core, from, paddr);
     }
 
     /// Closes the current epoch: rolls epoch counters into lifetime totals

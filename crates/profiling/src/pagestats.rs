@@ -5,7 +5,7 @@
 //! PSP the way the paper's offline profiling did.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use vmem::hash::FastMap;
 use vmem::{VirtAddr, PAGE_4K};
 
 /// Access statistics of one 4 KiB page.
@@ -23,7 +23,11 @@ pub struct PageCell {
 /// sizes are derived by aggregation ([`PageAccessStats::aggregate`]).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct PageAccessStats {
-    cells: HashMap<u64, PageCell>,
+    /// Keyed by 4 KiB page base. Uses the simulator's fast deterministic
+    /// hasher: `record` runs once per simulated access, and the default
+    /// SipHash dominated its cost. Bucket order never leaks — `aggregate`
+    /// sorts its rows.
+    cells: FastMap<u64, PageCell>,
     total: u64,
 }
 
@@ -62,7 +66,8 @@ impl PageAccessStats {
     /// the page is small). Returns `(container_base, count, thread_mask)`
     /// rows sorted by container base.
     pub fn aggregate(&self, container_of: impl Fn(u64) -> u64) -> Vec<(u64, u64, u64)> {
-        let mut merged: HashMap<u64, PageCell> = HashMap::with_capacity(self.cells.len());
+        let mut merged: FastMap<u64, PageCell> =
+            FastMap::with_capacity_and_hasher(self.cells.len(), Default::default());
         for (&base, cell) in &self.cells {
             let c = merged.entry(container_of(base)).or_default();
             c.count += cell.count;

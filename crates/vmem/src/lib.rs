@@ -33,6 +33,7 @@
 mod addr;
 mod error;
 mod frame;
+pub mod hash;
 mod ops;
 mod replica;
 mod space;

@@ -236,7 +236,7 @@ pub struct PageTable {
 #[derive(Clone, Debug, Default)]
 pub struct WalkCache {
     generation: u64,
-    entries: std::collections::HashMap<u64, CacheEntry>,
+    entries: crate::hash::FastMap<u64, CacheEntry>,
     hits: u64,
     misses: u64,
     invalidations: u64,

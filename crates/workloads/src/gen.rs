@@ -252,8 +252,61 @@ impl WorkloadGen {
                 prefetched: false,
             };
         }
-        // Compute phase: pick a region by the current phase's shares, then
-        // an address by the region's pattern.
+        self.compute_op(thread, phase)
+    }
+
+    /// Fills `out` (cleared first) with the next `n` operations of
+    /// `thread` — exactly the ops `n` successive [`WorkloadGen::next_op`]
+    /// calls would emit, with an identical RNG draw sequence. The batched
+    /// form lifts phase derivation out of the per-op path: allocation-phase
+    /// ops stream straight off the precomputed list, and compute-phase ops
+    /// are generated in phase-constant chunks (the phase index can only
+    /// change every `ops_per_round` ops).
+    pub fn next_block(&mut self, thread: usize, n: usize, out: &mut Vec<Op>) {
+        out.clear();
+        out.reserve(n);
+        let mut remaining = n;
+        {
+            let st = &mut self.threads[thread];
+            let left = st.alloc_list.len() - st.alloc_pos;
+            let take = remaining.min(left);
+            for &vaddr in &st.alloc_list[st.alloc_pos..st.alloc_pos + take] {
+                out.push(Op {
+                    vaddr,
+                    is_write: true, // first touch is a store (demand-zero)
+                    coherent_store: false,
+                    prefetched: false,
+                });
+            }
+            st.alloc_pos += take;
+            remaining -= take;
+        }
+        while remaining > 0 {
+            let ops_issued = self.threads[thread].ops_issued;
+            let phase = self.phase_of(ops_issued);
+            // Ops left before this phase can end; the final (or only) phase
+            // never ends, so the whole rest of the block is one chunk.
+            let chunk = if phase + 1 >= self.phase_ends.len() {
+                remaining
+            } else {
+                let phase_end_ops = self.phase_ends[phase] * self.spec.ops_per_round;
+                remaining.min((phase_end_ops - ops_issued) as usize)
+            };
+            for _ in 0..chunk {
+                let op = self.compute_op(thread, phase);
+                out.push(op);
+            }
+            remaining -= chunk;
+        }
+    }
+
+    /// One compute-phase op of `thread` under the region shares of `phase`
+    /// (the shared tail of [`WorkloadGen::next_op`] and
+    /// [`WorkloadGen::next_block`]).
+    fn compute_op(&mut self, thread: usize, phase: usize) -> Op {
+        let st = &mut self.threads[thread];
+        // Pick a region by the current phase's shares, then an address by
+        // the region's pattern.
         let cumshare = &self.cumshares[phase];
         let p: f64 = st.rng.random();
         let mut ridx = cumshare.len() - 1;
@@ -494,6 +547,75 @@ mod tests {
         assert_eq!(g.threads[1].alloc_list.len(), 0);
         assert_eq!(g.threads[2].alloc_list.len(), 64);
         assert_eq!(g.threads[3].alloc_list.len(), 64);
+    }
+
+    #[test]
+    fn next_block_matches_next_op_exactly() {
+        // Across alloc→compute transition, all patterns, odd block sizes.
+        for pattern in [
+            AccessPattern::SharedUniform,
+            AccessPattern::PrivateSlices,
+            AccessPattern::Stream { stride: 64 },
+            AccessPattern::Hotspots {
+                count: 2,
+                hot_bytes: 4096,
+                spacing_bytes: 1 << 19,
+                hot_share: 0.8,
+            },
+        ] {
+            let spec = spec_with(pattern, 2, 1 << 20);
+            let mut a = WorkloadGen::new(&spec, 11);
+            let mut b = WorkloadGen::new(&spec, 11);
+            let mut block = Vec::new();
+            for round in 0..40 {
+                for t in 0..2 {
+                    let n = 1 + (round * 7 + t * 3) % 23;
+                    b.next_block(t, n, &mut block);
+                    assert_eq!(block.len(), n);
+                    for (i, got) in block.iter().enumerate() {
+                        assert_eq!(*got, a.next_op(t), "op {i} of block {round}/{t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_block_matches_across_phase_changes() {
+        let mut spec = spec_with(AccessPattern::SharedUniform, 2, 1 << 20);
+        spec.regions.push(RegionSpec {
+            base: 2 << 30,
+            bytes: 1 << 20,
+            share: 0.0,
+            pattern: AccessPattern::PrivateSlices,
+            alloc_skew: 0.0,
+            loader_headers: 0.0,
+            rw_shared: false,
+            read_only: false,
+        });
+        spec.phases = vec![
+            crate::spec::PhaseSpec {
+                rounds: 2,
+                shares: vec![1.0, 0.0],
+            },
+            crate::spec::PhaseSpec {
+                rounds: 2,
+                shares: vec![0.0, 1.0],
+            },
+        ];
+        let mut a = WorkloadGen::new(&spec, 5);
+        let mut b = WorkloadGen::new(&spec, 5);
+        let mut block = Vec::new();
+        // Blocks of 50 do not divide the 64-op rounds, so chunks straddle
+        // phase boundaries.
+        for _ in 0..20 {
+            for t in 0..2 {
+                b.next_block(t, 50, &mut block);
+                for got in &block {
+                    assert_eq!(*got, a.next_op(t));
+                }
+            }
+        }
     }
 
     #[test]
