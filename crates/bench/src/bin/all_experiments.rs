@@ -8,12 +8,18 @@
 //! to `results/BENCH_runner.json` — the repo's performance trajectory file
 //! (schema in DESIGN.md §10).
 
-use carrefour_bench::experiments;
 use carrefour_bench::runner::{self, Progress, TimedCell};
+use carrefour_bench::{attrib, experiments};
 use std::collections::HashMap;
 
 fn main() {
     let compare = compare_from_args();
+    let attrib_on = std::env::args().any(|a| a == "--attrib") || carrefour_bench::attrib_enabled();
+    if attrib_on {
+        // The runner reads this per cell; setting it here lets `--attrib`
+        // and `CARREFOUR_ATTRIB=1` behave identically.
+        std::env::set_var("CARREFOUR_ATTRIB", "1");
+    }
     let jobs = runner::default_jobs();
     let host_cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -57,6 +63,36 @@ fn main() {
     }
 
     write_bench_runner_json(&exps, &exp_slots, &timed, jobs, host_cores, total_wall_secs);
+
+    if attrib_on {
+        // Bucket totals of every unique cell, one attrib-v1 file. The
+        // ledger is checked for conservation per cell: a runner that
+        // shipped a non-conserving breakdown would poison every
+        // downstream diagnosis.
+        let cells: Vec<_> = timed.iter().map(|t| t.cell.clone()).collect();
+        for c in &cells {
+            let ledger = c.result.attribution.as_ref().unwrap_or_else(|| {
+                panic!(
+                    "--attrib was on but {}/{} has no ledger",
+                    c.benchmark, c.policy
+                )
+            });
+            assert!(
+                ledger.conserves(c.result.runtime_cycles),
+                "{}/{}: attribution does not conserve",
+                c.benchmark,
+                c.policy
+            );
+        }
+        if std::fs::create_dir_all("results").is_ok()
+            && std::fs::write("results/ATTRIB_all.json", attrib::baseline_json(&cells)).is_ok()
+        {
+            eprintln!(
+                "[all] wrote results/ATTRIB_all.json ({} cells)",
+                cells.len()
+            );
+        }
+    }
 
     if let Some(path) = compare {
         compare_against_baseline(&path, &exps, &exp_slots, &timed, total_wall_secs);
@@ -135,8 +171,7 @@ fn compare_against_baseline(
                 in_experiments = false;
                 continue;
             }
-            if let (Some(name), Some(secs)) =
-                (json_str(line, "name"), json_f64(line, "wall_secs"))
+            if let (Some(name), Some(secs)) = (json_str(line, "name"), json_f64(line, "wall_secs"))
             {
                 base_exps.insert(name, secs);
             }

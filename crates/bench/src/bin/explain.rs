@@ -1,0 +1,163 @@
+//! `explain` — attribution-based diagnosis of a policy delta.
+//!
+//! Runs a pair of cells (same benchmark and machine, two policies) with
+//! the cycle-attribution ledger on, writes the `attrib-v1` report to
+//! `results/ATTRIB_<bench>_<base>_vs_<cand>.json`, and prints the
+//! human-readable narrative: which architectural cause the runtime delta
+//! decomposes into ("THP saves N walk cycles but adds M queueing cycles
+//! on node 2"). Conservation makes the decomposition exact — the listed
+//! causes sum to the runtime delta.
+//!
+//! ```text
+//! explain                          # the two paper diagnosis cases (below)
+//! explain CG.D Linux THP           # any pair, machine A
+//! explain UA.B Linux THP --machine b
+//! explain --golden                 # attributed golden cells
+//! #                                #   -> results/BENCH_attrib_baseline.json
+//! ```
+//!
+//! With no arguments, `explain` reproduces the paper's headline diagnoses
+//! on machine A: the CG.D THP regression (Table 1: imbalance explodes —
+//! the ledger shows queueing delay growing on the hottest controller),
+//! the UA.B THP regression (Table 1: locality collapses — the ledger
+//! shows interconnect-hop time growing), and the SSCA.20 THP win
+//! (Table 1: page-walk misses vanish under huge pages — the ledger shows
+//! the win is walk-cycle reduction).
+
+use carrefour_bench::runner::{par_map, resolve_jobs};
+use carrefour_bench::{attrib, golden, Cell, PolicyKind};
+use engine::{SimConfig, Simulation};
+use numa_topology::MachineSpec;
+use std::path::Path;
+use workloads::Benchmark;
+
+/// Runs one cell with attribution on (directly, not via the environment)
+/// and panics if the ledger does not conserve — an `explain` report built
+/// from a non-conserving ledger would narrate cycles that don't exist.
+fn run_attributed(machine: &MachineSpec, bench: Benchmark, kind: PolicyKind) -> Cell {
+    let mut config = SimConfig::for_machine(machine, kind.initial_thp());
+    config.attribution = true;
+    let spec = bench.spec(machine);
+    let mut policy = kind.make();
+    let mut result = Simulation::run(machine, &spec, &config, policy.as_mut());
+    result.policy = kind.label().to_string();
+    let ledger = result.attribution.as_ref().expect("attribution was on");
+    assert!(
+        ledger.conserves(result.runtime_cycles),
+        "{}/{}: ledger does not conserve ({} != {})",
+        bench.name(),
+        kind.label(),
+        ledger.total.total(),
+        result.runtime_cycles
+    );
+    Cell {
+        machine: machine.name().to_string(),
+        benchmark: bench.name().to_string(),
+        policy: kind.label().to_string(),
+        result,
+    }
+}
+
+/// Runs one (bench, base, cand) pair in parallel, writes the report, and
+/// prints the narrative.
+fn explain_pair(machine: &MachineSpec, bench: Benchmark, base: PolicyKind, cand: PolicyKind) {
+    let kinds = [base, cand];
+    let mut cells = par_map(resolve_jobs(None).min(2), 2, |i| {
+        run_attributed(machine, bench, kinds[i])
+    });
+    let cand_cell = cells.pop().expect("two cells ran");
+    let base_cell = cells.pop().expect("two cells ran");
+    print!("{}", attrib::narrative(&base_cell, &cand_cell));
+    match attrib::write_report(Path::new("results"), &base_cell, &cand_cell) {
+        Ok(path) => println!("  report: {}\n", path.display()),
+        Err(e) => println!("  (report not written: {e})\n"),
+    }
+}
+
+/// Runs the six golden cells attributed and seeds
+/// `results/BENCH_attrib_baseline.json` — the checked-in reference of the
+/// golden configurations' cycle composition.
+fn golden_baseline() {
+    let machine = MachineSpec::machine_a();
+    let jobs = resolve_jobs(None);
+    let cells = par_map(jobs, golden::GOLDEN_CELLS.len(), |i| {
+        let c = golden::GOLDEN_CELLS[i];
+        run_attributed(&machine, c.bench, c.kind)
+    });
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let path = dir.join("BENCH_attrib_baseline.json");
+    std::fs::write(&path, attrib::baseline_json(&cells)).expect("write baseline");
+    println!(
+        "wrote {} ({} attributed cells)",
+        path.display(),
+        cells.len()
+    );
+}
+
+fn parse_bench(name: &str) -> Benchmark {
+    Benchmark::all()
+        .iter()
+        .copied()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
+            panic!("unknown benchmark {name:?}; known: {}", known.join(", "))
+        })
+}
+
+fn parse_policy(label: &str) -> PolicyKind {
+    PolicyKind::parse(label).unwrap_or_else(|| {
+        let known: Vec<&str> = PolicyKind::all().iter().map(|k| k.label()).collect();
+        panic!("unknown policy {label:?}; known: {}", known.join(", "))
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--golden") {
+        golden_baseline();
+        return;
+    }
+    let mut machine = MachineSpec::machine_a();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machine" => {
+                let v = it.next().expect("--machine needs a value (a|b)");
+                machine = match v.as_str() {
+                    "a" | "machine-a" => MachineSpec::machine_a(),
+                    "b" | "machine-b" => MachineSpec::machine_b(),
+                    other => panic!("unknown machine {other:?} (want a|b)"),
+                };
+            }
+            "--jobs" => {
+                let _ = it.next();
+            }
+            a if a.starts_with("--jobs=") => {}
+            _ => positional.push(a),
+        }
+    }
+    match positional.as_slice() {
+        [] => {
+            // The paper's headline diagnoses (Table 1), machine A.
+            for bench in [Benchmark::CgD, Benchmark::UaB, Benchmark::Ssca] {
+                explain_pair(&machine, bench, PolicyKind::Linux4k, PolicyKind::LinuxThp);
+            }
+        }
+        [bench, base, cand] => {
+            explain_pair(
+                &machine,
+                parse_bench(bench),
+                parse_policy(base),
+                parse_policy(cand),
+            );
+        }
+        other => panic!(
+            "usage: explain [<bench> <base-policy> <cand-policy>] [--machine a|b] | --golden \
+             (got {} positional args)",
+            other.len()
+        ),
+    }
+}

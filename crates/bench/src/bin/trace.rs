@@ -6,6 +6,11 @@
 //! policy decisions) — to stdout and to `results/trace_<cell>.txt`, with
 //! the full event stream in `results/trace_<cell>.jsonl`.
 //!
+//! `--format csv` renders the same per-epoch timeline as CSV (one header
+//! plus one row per epoch) to stdout and `results/trace_<cell>.csv` —
+//! for spreadsheets and plotting scripts that should not screen-scrape
+//! the text table.
+//!
 //! `--bless` instead recomputes every golden digest and rewrites
 //! `tests/golden/*.json` (see DESIGN.md §9 for when blessing is the right
 //! response to a golden-trace failure).
@@ -39,20 +44,52 @@ fn main() {
         return;
     }
 
+    let format = format_from_args();
     let machine = MachineSpec::machine_a();
     let _ = std::fs::create_dir_all("results");
     let progress = Progress::new("trace", GOLDEN_CELLS.len());
     for &cell in &GOLDEN_CELLS {
         let (events, runtime_ms) = run_traced_cell(&machine, cell);
-        let timeline = render_timeline(&cell, runtime_ms, &events);
-        print!("{timeline}");
-        let txt = format!("results/trace_{}.txt", cell.stem());
-        if std::fs::write(&txt, &timeline).is_ok() {
-            println!("  -> {txt} and results/trace_{}.jsonl\n", cell.stem());
+        let (rendered, ext) = match format {
+            Format::Text => (render_timeline(&cell, runtime_ms, &events), "txt"),
+            Format::Csv => (render_csv(&events), "csv"),
+        };
+        print!("{rendered}");
+        let path = format!("results/trace_{}.{ext}", cell.stem());
+        if std::fs::write(&path, &rendered).is_ok() {
+            println!("  -> {path} and results/trace_{}.jsonl\n", cell.stem());
         }
         progress.cell_done(&cell.stem());
     }
     progress.finish();
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Csv,
+}
+
+/// Parses `--format text|csv` / `--format=csv` out of the arguments.
+fn format_from_args() -> Format {
+    let args: Vec<String> = std::env::args().collect();
+    let mut value: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--format" {
+            value = it.next().cloned();
+        } else if let Some(v) = a.strip_prefix("--format=") {
+            value = Some(v.to_string());
+        }
+    }
+    match value.as_deref() {
+        None | Some("text") => Format::Text,
+        Some("csv") => Format::Csv,
+        Some(other) => {
+            eprintln!("unknown --format {other:?} (want text|csv)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Runs one cell with a collector and a JSONL file sink teed together.
@@ -114,6 +151,55 @@ fn decision_label(d: &PolicyDecision) -> String {
     }
 }
 
+/// Folds the event stream into per-epoch rows (shared by both formats).
+fn build_rows(events: &[TraceEvent]) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut cur = Row::default();
+    for ev in events {
+        match ev {
+            TraceEvent::PageFault { .. } => cur.faults += 1,
+            TraceEvent::Decision { decision, .. } => cur.decisions.push(decision_label(decision)),
+            TraceEvent::EpochEnd { snap, .. } => {
+                cur.snap = Some(snap.clone());
+                rows.push(std::mem::take(&mut cur));
+            }
+            _ => {}
+        }
+    }
+    rows
+}
+
+/// Renders the epoch timeline as CSV: one header, one row per epoch, the
+/// same columns as the text table plus the raw THP booleans. Decisions
+/// are semicolon-joined inside one quoted field.
+fn render_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from(
+        "epoch,imbalance_pct,lar,walk_miss_pct,faults,splits,migrations,\
+         collapses,thp_alloc,thp_promote,failed_actions,decisions\n",
+    );
+    for (i, row) in build_rows(events).iter().enumerate() {
+        let Some(snap) = &row.snap else { continue };
+        let decisions = row.decisions.join("; ").replace('"', "\"\"");
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.4},{:.3},{},{},{},{},{},{},{},\"{}\"",
+            i,
+            snap.imbalance,
+            snap.lar,
+            snap.walk_miss_fraction * 100.0,
+            row.faults,
+            snap.splits,
+            snap.migrations,
+            snap.collapses,
+            snap.thp_alloc,
+            snap.thp_promote,
+            snap.failed_actions,
+            decisions,
+        );
+    }
+    out
+}
+
 /// Renders the Figure-2-style text timeline for one traced run.
 fn render_timeline(cell: &GoldenCell, runtime_ms: f64, events: &[TraceEvent]) -> String {
     let mut out = String::new();
@@ -128,19 +214,7 @@ fn render_timeline(cell: &GoldenCell, runtime_ms: f64, events: &[TraceEvent]) ->
         "{:>5} {:>9} {:>6} {:>7} {:>7} {:>6} {:>5} {:>5} {:>4} {:>4}  decisions",
         "epoch", "imbal%", "lar", "walk%", "faults", "split", "migr", "clps", "thp", "fail",
     );
-    let mut rows: Vec<Row> = Vec::new();
-    let mut cur = Row::default();
-    for ev in events {
-        match ev {
-            TraceEvent::PageFault { .. } => cur.faults += 1,
-            TraceEvent::Decision { decision, .. } => cur.decisions.push(decision_label(decision)),
-            TraceEvent::EpochEnd { snap, .. } => {
-                cur.snap = Some(snap.clone());
-                rows.push(std::mem::take(&mut cur));
-            }
-            _ => {}
-        }
-    }
+    let rows = build_rows(events);
     for (i, row) in rows.iter().enumerate() {
         let Some(snap) = &row.snap else { continue };
         let _ = writeln!(

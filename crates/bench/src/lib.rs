@@ -13,9 +13,18 @@ use serde::{Deserialize, Serialize};
 use vmem::ThpControls;
 use workloads::Benchmark;
 
+pub mod attrib;
 pub mod experiments;
 pub mod golden;
 pub mod runner;
+
+/// Whether experiment binaries should record the cycle-attribution ledger
+/// (`CARREFOUR_ATTRIB=1`). Off by default: attributed results carry the
+/// ledger in memory, but the serialized result rows never include it, so
+/// existing JSON files and stdout stay byte-identical either way.
+pub fn attrib_enabled() -> bool {
+    std::env::var_os("CARREFOUR_ATTRIB").is_some_and(|v| v == "1")
+}
 
 /// Every system configuration the paper evaluates.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -72,6 +81,30 @@ impl PolicyKind {
         }
     }
 
+    /// Every kind, in declaration order (the order legends list them).
+    pub fn all() -> [PolicyKind; 10] {
+        [
+            PolicyKind::Linux4k,
+            PolicyKind::LinuxThp,
+            PolicyKind::Carrefour4k,
+            PolicyKind::Carrefour2m,
+            PolicyKind::ConservativeOnly,
+            PolicyKind::ReactiveOnly,
+            PolicyKind::CarrefourLp,
+            PolicyKind::CarrefourLpNoRetry,
+            PolicyKind::Linux1g,
+            PolicyKind::CarrefourLp1g,
+        ]
+    }
+
+    /// Parses a display label back into its kind (case-insensitive), for
+    /// CLI arguments like `explain UA.B Linux THP`.
+    pub fn parse(label: &str) -> Option<PolicyKind> {
+        PolicyKind::all()
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(label))
+    }
+
     /// Display label, matching the paper's legends.
     pub fn label(self) -> &'static str {
         match self {
@@ -96,7 +129,8 @@ pub fn machines() -> Vec<MachineSpec> {
 
 /// Runs one (machine, benchmark, policy) cell.
 pub fn run_cell(machine: &MachineSpec, bench: Benchmark, kind: PolicyKind) -> SimResult {
-    let config = SimConfig::for_machine(machine, kind.initial_thp());
+    let mut config = SimConfig::for_machine(machine, kind.initial_thp());
+    config.attribution = attrib_enabled();
     let spec = bench.spec(machine);
     let mut policy = kind.make();
     let mut result = Simulation::run(machine, &spec, &config, policy.as_mut());

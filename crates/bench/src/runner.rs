@@ -140,6 +140,7 @@ pub fn run_spec(spec: &CellSpec) -> SimResult {
         }
     }
     let mut config = SimConfig::for_machine(&spec.machine, spec.kind.initial_thp());
+    config.attribution = crate::attrib_enabled();
     if let Some(seed) = spec.seed {
         config.seed = seed;
     }
@@ -288,15 +289,9 @@ impl Progress {
         if !self.quiet {
             use std::io::Write;
             let secs = self.start.elapsed().as_secs_f64();
-            let mut line = format!(
-                "[{}] {}/{} {:.1}s",
-                self.label, done, self.total, secs
-            );
+            let mut line = format!("[{}] {}/{} {:.1}s", self.label, done, self.total, secs);
             if total_ops > 0 && secs > 0.0 {
-                line.push_str(&format!(
-                    "  {:.2} Mops/s",
-                    total_ops as f64 / secs / 1e6
-                ));
+                line.push_str(&format!("  {:.2} Mops/s", total_ops as f64 / secs / 1e6));
             }
             if done < self.total && secs > 0.0 {
                 let eta = secs / done as f64 * (self.total - done) as f64;

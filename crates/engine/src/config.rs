@@ -39,6 +39,12 @@ pub struct SimConfig {
     /// Run the `vmem` invariant walker after every epoch, panicking on the
     /// first violation. Expensive; for tests and chaos runs only.
     pub validate_each_epoch: bool,
+    /// Record the cycle-attribution ledger ([`crate::AttributionLedger`] in
+    /// `SimResult.attribution`): every wall cycle charged to its
+    /// architectural cause, per epoch and per core. Off by default;
+    /// attribution is purely observational — every other output is
+    /// bit-identical either way (tier-1 tested).
+    pub attribution: bool,
 }
 
 impl SimConfig {
@@ -63,6 +69,7 @@ impl SimConfig {
             track_page_stats: true,
             faults: FaultConfig::none(),
             validate_each_epoch: false,
+            attribution: false,
         }
     }
 

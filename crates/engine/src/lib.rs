@@ -43,7 +43,10 @@ pub mod trace;
 pub use config::SimConfig;
 pub use faults::{FaultConfig, FaultCounters, FaultPlan, FaultRates, MemoryPressure};
 pub use policy::{ActionError, EpochCtx, FailedAction, NullPolicy, NumaPolicy, PolicyAction};
-pub use result::{EpochRecord, LifetimeStats, PageMetrics, RobustnessStats, SimResult};
+pub use result::{
+    AttributionLedger, EpochAttribution, EpochRecord, LifetimeStats, PageMetrics, RobustnessStats,
+    SimResult,
+};
 pub use sim::Simulation;
 pub use trace::{
     CountingSink, DigestSink, EpochDigest, EpochSnap, EventKind, JsonlSink, PolicyDecision,

@@ -1,6 +1,6 @@
 //! Simulation results and derived reporting.
 
-use profiling::EpochCounters;
+use profiling::{CycleBreakdown, EpochCounters};
 use serde::{Deserialize, Serialize};
 use vmem::VmemStats;
 
@@ -112,6 +112,52 @@ pub struct PageMetrics {
     pub psp_4k: f64,
 }
 
+/// One closed epoch's cycle attribution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochAttribution {
+    /// The epoch's *wall* cycles attributed: per round, the slowest
+    /// thread's breakdown (its critical path is the round's wall time),
+    /// plus the per-thread share of epoch overhead. Sums exactly to the
+    /// epoch's contribution to `SimResult.runtime_cycles`.
+    pub wall: CycleBreakdown,
+    /// Per-core *busy* cycles attributed (every thread's own work, not
+    /// just the critical path's). Cores do not sum to `wall`: in a
+    /// barrier-synchronized round only the slowest thread's time is wall
+    /// time; the others overlap under it.
+    pub cores: Vec<CycleBreakdown>,
+}
+
+/// The run's full cycle-attribution ledger
+/// (`SimResult.attribution`, recorded when `SimConfig.attribution` is on).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttributionLedger {
+    /// The serial prelude (loader thread touching headers alone).
+    pub prelude: CycleBreakdown,
+    /// Per-epoch attribution, in epoch order (parallel to
+    /// `SimResult.epochs`).
+    pub epochs: Vec<EpochAttribution>,
+    /// Whole-run wall attribution: `prelude` plus every epoch's `wall`.
+    /// **Conservation invariant**: `total.total() == runtime_cycles`,
+    /// exactly, as integers.
+    pub total: CycleBreakdown,
+    /// Per-core lifetime busy breakdowns (epoch cores summed; the prelude
+    /// is reported separately, not folded into core 0).
+    pub core_totals: Vec<CycleBreakdown>,
+}
+
+impl AttributionLedger {
+    /// Checks the conservation invariant against a run's total cycles:
+    /// the bucket sum must equal `runtime_cycles` exactly, and `total`
+    /// must equal prelude + Σ epoch walls fieldwise.
+    pub fn conserves(&self, runtime_cycles: u64) -> bool {
+        let mut rebuilt = self.prelude;
+        for e in &self.epochs {
+            rebuilt.add(&e.wall);
+        }
+        rebuilt == self.total && self.total.total() == runtime_cycles
+    }
+}
+
 /// Everything a simulation run produces.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
@@ -133,6 +179,9 @@ pub struct SimResult {
     pub pages: PageMetrics,
     /// Failure-and-recovery accounting (all-zero without fault injection).
     pub robustness: RobustnessStats,
+    /// Cycle-attribution ledger; `None` unless `SimConfig.attribution` was
+    /// on for the run.
+    pub attribution: Option<AttributionLedger>,
 }
 
 impl SimResult {
@@ -159,7 +208,38 @@ mod tests {
             lifetime: LifetimeStats::default(),
             pages: PageMetrics::default(),
             robustness: RobustnessStats::default(),
+            attribution: None,
         }
+    }
+
+    #[test]
+    fn ledger_conservation_check_is_exact() {
+        let mut prelude = CycleBreakdown::default();
+        prelude.compute = 100;
+        let mut wall = CycleBreakdown::default();
+        wall.dram_service = 40;
+        wall.ctrl_queue = 2;
+        let mut total = prelude;
+        total.add(&wall);
+        let ledger = AttributionLedger {
+            prelude,
+            epochs: vec![EpochAttribution {
+                wall,
+                cores: Vec::new(),
+            }],
+            total,
+            core_totals: Vec::new(),
+        };
+        assert!(ledger.conserves(142));
+        // Off by a single cycle: rejected.
+        assert!(!ledger.conserves(141));
+        assert!(!ledger.conserves(143));
+        // A total that disagrees with its parts: rejected even when the
+        // scalar sum happens to match.
+        let mut bad = ledger.clone();
+        bad.total.dram_service -= 1;
+        bad.total.cache_l1 += 1;
+        assert!(!bad.conserves(142));
     }
 
     #[test]

@@ -3,11 +3,16 @@
 use crate::config::SimConfig;
 use crate::faults::FaultPlan;
 use crate::policy::{ActionError, EpochCtx, FailedAction, NumaPolicy, PolicyAction};
-use crate::result::{EpochRecord, LifetimeStats, PageMetrics, RobustnessStats, SimResult};
+use crate::result::{
+    AttributionLedger, EpochAttribution, EpochRecord, LifetimeStats, PageMetrics, RobustnessStats,
+    SimResult,
+};
 use crate::trace::{EpochSnap, TraceEvent, TraceSink};
 use memsys::{AccessKind, AccessOutcome, MemorySystem, ServiceLevel};
 use numa_topology::{CoreId, MachineSpec, NodeId};
-use profiling::{metrics, CoreFaultTime, EpochCounters, IbsSample, IbsSampler, PageAccessStats};
+use profiling::{
+    metrics, CoreFaultTime, CycleBreakdown, EpochCounters, IbsSample, IbsSampler, PageAccessStats,
+};
 use vmem::{AddressSpace, Mapping, PageSize, SpaceError, Tlb, TlbLookup, VirtAddr, WalkCache};
 use workloads::{WorkloadGen, WorkloadSpec};
 
@@ -22,6 +27,67 @@ fn mix64(x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Splits `floor(sum(parts) / divisor)` across `parts` by prefix-sum
+/// differencing: `share_i = floor(prefix_i / d) - floor(prefix_{i-1} / d)`.
+///
+/// The shares telescope, so they sum to `floor(total / d)` *exactly* —
+/// the same integer the wall clock is charged — and each share is at
+/// least `floor(part_i / d)` (floor is superadditive), so none goes
+/// negative. This is how the attribution ledger keeps integer
+/// conservation through the two places a divided quantity must be split
+/// by cause: MLP-overlapped DRAM latency and per-thread overhead shares.
+#[inline]
+fn split_div<const N: usize>(parts: [u64; N], divisor: u64) -> [u64; N] {
+    let d = divisor.max(1);
+    let mut out = [0u64; N];
+    let mut prefix = 0u64;
+    let mut prev = 0u64;
+    for (o, p) in out.iter_mut().zip(parts) {
+        prefix += p;
+        let cur = prefix / d;
+        *o = cur - prev;
+        prev = cur;
+    }
+    out
+}
+
+/// Books one data-access outcome into the ledger. DRAM outcomes are first
+/// divided by the MLP `overlap` (exactly as the wall clock charges them),
+/// with the quotient split across queueing / interconnect / service by
+/// [`split_div`]; cache hits go to their level's bucket whole.
+#[inline]
+fn charge_access(b: &mut CycleBreakdown, out: &AccessOutcome, overlap: u64) {
+    match out.level {
+        ServiceLevel::L1 => b.cache_l1 += u64::from(out.cycles),
+        ServiceLevel::L2 => b.cache_l2 += u64::from(out.cycles),
+        ServiceLevel::L3 => b.cache_l3 += u64::from(out.cycles),
+        ServiceLevel::Dram => {
+            let q = u64::from(out.queue);
+            let i = u64::from(out.inter);
+            let s = u64::from(out.cycles) - q - i;
+            let [pq, pi, ps] = split_div([q, i, s], overlap);
+            b.ctrl_queue += pq;
+            b.interconnect += pi;
+            b.dram_service += ps;
+        }
+    }
+}
+
+/// Policy-action cycle costs by kind (so overhead attribution can name the
+/// action class). `migrate + split + replicate` is the old scalar total.
+#[derive(Clone, Copy, Debug, Default)]
+struct ActionCosts {
+    migrate: u64,
+    split: u64,
+    replicate: u64,
+}
+
+impl ActionCosts {
+    fn total(&self) -> u64 {
+        self.migrate + self.split + self.replicate
+    }
 }
 
 struct SimState<'m, 't> {
@@ -94,8 +160,18 @@ impl<'m, 't> SimState<'m, 't> {
     }
 
     /// Executes one memory operation for `thread`; returns its cycle cost.
+    ///
+    /// When `bd` is supplied, every cycle of the return value is also
+    /// booked into exactly one of its buckets (the conservation
+    /// invariant); `None` — the default — skips all attribution work.
     #[inline]
-    fn run_op(&mut self, thread: usize, op: workloads::Op, faulting_threads: usize) -> u64 {
+    fn run_op(
+        &mut self,
+        thread: usize,
+        op: workloads::Op,
+        faulting_threads: usize,
+        mut bd: Option<&mut CycleBreakdown>,
+    ) -> u64 {
         let vaddr = VirtAddr(op.vaddr);
         let core = CoreId::from(thread);
         let node = self.machine.node_of_core(core);
@@ -106,12 +182,24 @@ impl<'m, 't> SimState<'m, 't> {
             TlbLookup::HitL1(m) => m,
             TlbLookup::HitL2(m) => {
                 cycles += u64::from(self.l2_tlb_hit_cycles);
+                if let Some(b) = bd.as_deref_mut() {
+                    b.tlb_lookup += u64::from(self.l2_tlb_hit_cycles);
+                }
                 m
             }
             TlbLookup::Miss => {
                 cycles += u64::from(self.l2_tlb_hit_cycles);
-                let m =
-                    self.walk_and_maybe_fault(thread, vaddr, node, faulting_threads, &mut cycles);
+                if let Some(b) = bd.as_deref_mut() {
+                    b.tlb_lookup += u64::from(self.l2_tlb_hit_cycles);
+                }
+                let m = self.walk_and_maybe_fault(
+                    thread,
+                    vaddr,
+                    node,
+                    faulting_threads,
+                    &mut cycles,
+                    bd.as_deref_mut(),
+                );
                 self.tlbs[thread].insert(m);
                 m
             }
@@ -121,7 +209,11 @@ impl<'m, 't> SimState<'m, 't> {
         // replicated page collapses the replica set first.
         let mapping = if self.space.has_replicas() && mapping.size == PageSize::Size4K {
             if op.is_write && self.space.is_replicated(mapping.vbase) {
-                cycles += self.space.collapse_replicas(mapping.vbase);
+                let collapse = self.space.collapse_replicas(mapping.vbase);
+                cycles += collapse;
+                if let Some(b) = bd.as_deref_mut() {
+                    b.replica_collapse += collapse;
+                }
                 self.shootdown(mapping.vbase, mapping.size);
                 let epoch = self.epoch;
                 self.emit(|| TraceEvent::ReplicaCollapse {
@@ -151,8 +243,14 @@ impl<'m, 't> SimState<'m, 't> {
             // controller either way (counted above).
             let overlap = if op.prefetched { 4 } else { self.mlp };
             cycles += u64::from(out.cycles) / overlap;
+            if let Some(b) = bd.as_deref_mut() {
+                charge_access(b, &out, overlap);
+            }
         } else {
             cycles += u64::from(out.cycles);
+            if let Some(b) = bd {
+                charge_access(b, &out, 1);
+            }
         }
 
         // 3. Observation channels.
@@ -172,6 +270,11 @@ impl<'m, 't> SimState<'m, 't> {
     }
 
     /// Hardware page-table walk, servicing a demand fault if needed.
+    ///
+    /// With `bd` supplied, step-replay cycles are booked by walk-cache
+    /// outcome (`walk_pwc_hit` when the region's upper levels were
+    /// memoized, `walk_pwc_miss` for a full walk — the paging-structure-
+    /// cache distinction) and fault handling goes to `fault`.
     fn walk_and_maybe_fault(
         &mut self,
         thread: usize,
@@ -179,9 +282,12 @@ impl<'m, 't> SimState<'m, 't> {
         node: NodeId,
         faulting_threads: usize,
         cycles: &mut u64,
+        mut bd: Option<&mut CycleBreakdown>,
     ) -> Mapping {
         let core = CoreId::from(thread);
+        let hits_before = self.walk_cache.hits();
         let walk = self.space.walk_cached(vaddr, &mut self.walk_cache);
+        let pwc_hit = self.walk_cache.hits() > hits_before;
         // Every step address is known before any is charged: prefetch all
         // their cache sets (host-side only, no simulated effect) so the
         // random, usually host-cold set loads overlap instead of
@@ -200,6 +306,13 @@ impl<'m, 't> SimState<'m, 't> {
                 .mem
                 .access(core, step.pte_addr.0, step.node, AccessKind::PageWalk);
             *cycles += u64::from(out.cycles);
+            if let Some(b) = bd.as_deref_mut() {
+                if pwc_hit {
+                    b.walk_pwc_hit += u64::from(out.cycles);
+                } else {
+                    b.walk_pwc_miss += u64::from(out.cycles);
+                }
+            }
         }
         if let Some(m) = walk.mapping {
             return m;
@@ -225,6 +338,9 @@ impl<'m, 't> SimState<'m, 't> {
         let contention = self.fault_contention * contenders;
         let cost = fault.cycles + contention;
         *cycles += cost;
+        if let Some(b) = bd {
+            b.fault += cost;
+        }
         self.fault_epoch[thread] += cost;
         self.fault_life[thread] += cost;
         let epoch = self.epoch;
@@ -275,11 +391,17 @@ impl<'m, 't> SimState<'m, 't> {
     ///   [`IbsSampler::advance_unsampled`] and the sample fires via
     ///   [`IbsSampler::take_sample`] at exactly the op index where
     ///   [`IbsSampler::observe`] would have fired it.
-    fn run_block(&mut self, thread: usize, ops: &[workloads::Op], faulting_threads: usize) -> u64 {
+    fn run_block(
+        &mut self,
+        thread: usize,
+        ops: &[workloads::Op],
+        faulting_threads: usize,
+        mut bd: Option<&mut CycleBreakdown>,
+    ) -> u64 {
         if !self.fast_on {
             let mut c: u64 = 0;
             for &op in ops {
-                c += self.run_op(thread, op, faulting_threads);
+                c += self.run_op(thread, op, faulting_threads, bd.as_deref_mut());
             }
             return c;
         }
@@ -305,16 +427,23 @@ impl<'m, 't> SimState<'m, 't> {
                 TlbLookup::HitL1(m) => m,
                 TlbLookup::HitL2(m) => {
                     cycles += u64::from(self.l2_tlb_hit_cycles);
+                    if let Some(b) = bd.as_deref_mut() {
+                        b.tlb_lookup += u64::from(self.l2_tlb_hit_cycles);
+                    }
                     m
                 }
                 TlbLookup::Miss => {
                     cycles += u64::from(self.l2_tlb_hit_cycles);
+                    if let Some(b) = bd.as_deref_mut() {
+                        b.tlb_lookup += u64::from(self.l2_tlb_hit_cycles);
+                    }
                     let m = self.walk_and_maybe_fault(
                         thread,
                         vaddr,
                         node,
                         faulting_threads,
                         &mut cycles,
+                        bd.as_deref_mut(),
                     );
                     self.tlbs[thread].insert(m);
                     // The walk probed the hierarchy on this core: the L1's
@@ -327,7 +456,11 @@ impl<'m, 't> SimState<'m, 't> {
             // 1b. Replication (identical to run_op).
             let mapping = if self.space.has_replicas() && mapping.size == PageSize::Size4K {
                 if op.is_write && self.space.is_replicated(mapping.vbase) {
-                    cycles += self.space.collapse_replicas(mapping.vbase);
+                    let collapse = self.space.collapse_replicas(mapping.vbase);
+                    cycles += collapse;
+                    if let Some(b) = bd.as_deref_mut() {
+                        b.replica_collapse += collapse;
+                    }
                     self.shootdown(mapping.vbase, mapping.size);
                     stable_line = None;
                     let epoch = self.epoch;
@@ -366,9 +499,13 @@ impl<'m, 't> SimState<'m, 't> {
                         level: ServiceLevel::L1,
                         from_node: node,
                         home_node: mapping.node,
+                        queue: 0,
+                        inter: 0,
                     }
                 } else {
-                    let out = self.mem.access(core, paddr.0, mapping.node, AccessKind::Data);
+                    let out = self
+                        .mem
+                        .access(core, paddr.0, mapping.node, AccessKind::Data);
                     stable_line = Some(line);
                     out
                 }
@@ -376,8 +513,14 @@ impl<'m, 't> SimState<'m, 't> {
             if out.dram() {
                 let overlap = if op.prefetched { 4 } else { self.mlp };
                 cycles += u64::from(out.cycles) / overlap;
+                if let Some(b) = bd.as_deref_mut() {
+                    charge_access(b, &out, overlap);
+                }
             } else {
                 cycles += u64::from(out.cycles);
+                if let Some(b) = bd.as_deref_mut() {
+                    charge_access(b, &out, 1);
+                }
             }
 
             // 3. Observation channels.
@@ -419,7 +562,9 @@ impl<'m, 't> SimState<'m, 't> {
         cycles_total
     }
 
-    /// Applies policy actions; returns (migrations, splits, cost cycles).
+    /// Applies policy actions; returns (migrations, splits, costs), the
+    /// cycle costs split by action kind for the attribution ledger
+    /// (`ActionCosts::total()` is the old opaque cost sum, unchanged).
     ///
     /// Failures — injected busy pins as well as genuine vmem refusals —
     /// are appended to `failures` and tallied in the run's
@@ -431,10 +576,10 @@ impl<'m, 't> SimState<'m, 't> {
         &mut self,
         actions: Vec<PolicyAction>,
         failures: &mut Vec<FailedAction>,
-    ) -> (u64, u64, u64) {
+    ) -> (u64, u64, ActionCosts) {
         let mut migrations = 0;
         let mut splits = 0;
-        let mut cost: u64 = 0;
+        let mut costs = ActionCosts::default();
         let epoch = self.epoch;
         for a in actions {
             match a {
@@ -472,7 +617,7 @@ impl<'m, 't> SimState<'m, 't> {
                         Ok((old, c)) => {
                             self.shootdown(old.vbase, old.size);
                             splits += 1;
-                            cost += c;
+                            costs.split += c;
                             self.emit(|| TraceEvent::Split {
                                 epoch,
                                 vbase: old.vbase.0,
@@ -506,7 +651,8 @@ impl<'m, 't> SimState<'m, 't> {
                             // One batched demote-and-spread: the split cost
                             // plus one huge-page-worth of copying, not 512
                             // separate migration calls.
-                            cost += c + self.space.costs().copy_per_kib * (old.size.bytes() >> 10);
+                            costs.split +=
+                                c + self.space.costs().copy_per_kib * (old.size.bytes() >> 10);
                             let nodes = self.machine.num_nodes() as u64;
                             let children = old.size.fanout();
                             // invariant: split() only succeeds on huge
@@ -557,7 +703,7 @@ impl<'m, 't> SimState<'m, 't> {
                                     self.shootdown(m.vbase, m.size);
                                 }
                                 migrations += 1; // replica copies count as moves
-                                cost += c;
+                                costs.replicate += c;
                                 self.emit(|| TraceEvent::Replication { epoch, vbase: v });
                             }
                         }
@@ -584,7 +730,7 @@ impl<'m, 't> SimState<'m, 't> {
                             if c > 0 {
                                 self.shootdown(old.vbase, old.size);
                                 migrations += 1;
-                                cost += c;
+                                costs.migrate += c;
                                 self.emit(|| TraceEvent::Migration {
                                     epoch,
                                     vbase: old.vbase.0,
@@ -605,7 +751,7 @@ impl<'m, 't> SimState<'m, 't> {
                 }
             }
         }
-        (migrations, splits, cost)
+        (migrations, splits, costs)
     }
 }
 
@@ -738,6 +884,18 @@ impl Simulation {
         let think = u64::from(spec.think_cycles_per_op);
         let mut wall: u64 = 0;
 
+        // Attribution ledger state. All of it stays empty (and costs one
+        // branch per charge site) when attribution is off, which keeps the
+        // hot path allocation-free and the default run untouched.
+        let attrib_on = config.attribution;
+        let attrib_threads = if attrib_on { spec.threads } else { 0 };
+        let mut prelude_bd = CycleBreakdown::default();
+        let mut epoch_wall_bd = CycleBreakdown::default();
+        let mut round_bds = vec![CycleBreakdown::default(); attrib_threads];
+        let mut core_bds = vec![CycleBreakdown::default(); attrib_threads];
+        let mut core_totals = vec![CycleBreakdown::default(); attrib_threads];
+        let mut attrib_epochs: Vec<EpochAttribution> = Vec::new();
+
         // Serial prelude: the loader thread's header touches run alone
         // before the parallel phase (a program's sequential setup).
         let mut prelude_cycles: u64 = 0;
@@ -748,7 +906,11 @@ impl Simulation {
                 coherent_store: false,
                 prefetched: false,
             };
-            prelude_cycles += st.run_op(0, op, 1) + think;
+            let bd = attrib_on.then_some(&mut prelude_bd);
+            prelude_cycles += st.run_op(0, op, 1, bd) + think;
+            if attrib_on {
+                prelude_bd.compute += think;
+            }
         }
         wall += prelude_cycles;
         let mut epoch_wall: u64 = 0;
@@ -780,12 +942,33 @@ impl Simulation {
                 for k in 0..spec.threads {
                     let t = (k + cycle_idx) % spec.threads;
                     gen.next_block(t, n as usize, &mut block);
-                    t_cycles[t] += st.run_block(t, &block, faulting) + think * n;
+                    let bd = if attrib_on {
+                        Some(&mut round_bds[t])
+                    } else {
+                        None
+                    };
+                    t_cycles[t] += st.run_block(t, &block, faulting, bd) + think * n;
+                    if attrib_on {
+                        round_bds[t].compute += think * n;
+                    }
                 }
                 issued += n;
                 cycle_idx += 1;
             }
             let slowest = t_cycles.iter().copied().max().unwrap_or(0);
+            if attrib_on {
+                // The round's wall time is the slowest thread's time: its
+                // breakdown *is* the round's wall breakdown. Ties are safe —
+                // any thread achieving the max has a breakdown summing to
+                // exactly `slowest` — but take the first for determinism.
+                if let Some(wi) = t_cycles.iter().position(|&c| c == slowest) {
+                    epoch_wall_bd.add(&round_bds[wi]);
+                }
+                for (cb, rb) in core_bds.iter_mut().zip(round_bds.iter_mut()) {
+                    cb.add(rb);
+                    *rb = CycleBreakdown::default();
+                }
+            }
             epoch_ops += spec.ops_per_round * spec.threads as u64;
             total_ops += spec.ops_per_round * spec.threads as u64;
             wall += slowest;
@@ -854,7 +1037,8 @@ impl Simulation {
             }
             st.robust.retries += ctx.retries_recorded();
             let mut failures: Vec<FailedAction> = Vec::new();
-            let (migrations, splits, action_cost) = st.apply_actions(actions, &mut failures);
+            let (migrations, splits, action_costs) = st.apply_actions(actions, &mut failures);
+            let action_cost = action_costs.total();
             if st.trace.is_some() {
                 for f in &failures {
                     st.emit(|| TraceEvent::ActionFailed {
@@ -873,6 +1057,27 @@ impl Simulation {
             wall += overhead_share;
             epoch_wall += overhead_share;
             overhead_total += overhead;
+            if attrib_on {
+                // The flooring of `overhead / threads` is distributed over
+                // the kind buckets by prefix-sum differencing, so the five
+                // shares sum to `overhead_share` exactly — no cycle is lost
+                // to five independent floors.
+                let [kh, ib, mi, sp, re] = split_div(
+                    [
+                        khuge_cost,
+                        ibs_overhead,
+                        action_costs.migrate,
+                        action_costs.split,
+                        action_costs.replicate,
+                    ],
+                    st.threads as u64,
+                );
+                epoch_wall_bd.khugepaged += kh;
+                epoch_wall_bd.ibs_sampling += ib;
+                epoch_wall_bd.policy_migration += mi;
+                epoch_wall_bd.policy_split += sp;
+                epoch_wall_bd.policy_replication += re;
+            }
 
             if st.trace.is_some() {
                 // Snapshot before end_epoch resets the per-epoch
@@ -916,6 +1121,17 @@ impl Simulation {
                 failed_actions: failures.len() as u64,
             });
             last_failures = failures;
+            if attrib_on {
+                attrib_epochs.push(EpochAttribution {
+                    wall: epoch_wall_bd,
+                    cores: core_bds.clone(),
+                });
+                for (tot, cb) in core_totals.iter_mut().zip(core_bds.iter_mut()) {
+                    tot.add(cb);
+                    *cb = CycleBreakdown::default();
+                }
+                epoch_wall_bd = CycleBreakdown::default();
+            }
             st.fault_epoch.iter_mut().for_each(|c| *c = 0);
             epoch_wall = 0;
             epoch_ops = 0;
@@ -1005,6 +1221,27 @@ impl Simulation {
             t.finish();
         }
 
+        let attribution = if attrib_on {
+            let mut total = prelude_bd;
+            for e in &attrib_epochs {
+                total.add(&e.wall);
+            }
+            let ledger = AttributionLedger {
+                prelude: prelude_bd,
+                epochs: attrib_epochs,
+                total,
+                core_totals,
+            };
+            debug_assert!(
+                ledger.conserves(wall),
+                "attribution conservation violated: buckets sum to {}, wall is {wall}",
+                ledger.total.total()
+            );
+            Some(ledger)
+        } else {
+            None
+        };
+
         SimResult {
             workload: spec.name.clone(),
             policy: policy.name().to_string(),
@@ -1015,6 +1252,7 @@ impl Simulation {
             lifetime,
             pages,
             robustness: st.robust,
+            attribution,
         }
     }
 }
@@ -1169,7 +1407,10 @@ mod tests {
                 assert_eq!(a.counters.l2_misses, b.counters.l2_misses);
                 assert_eq!(a.counters.dram_local, b.counters.dram_local);
                 assert_eq!(a.counters.dram_remote, b.counters.dram_remote);
-                assert_eq!(a.counters.controller_requests, b.counters.controller_requests);
+                assert_eq!(
+                    a.counters.controller_requests,
+                    b.counters.controller_requests
+                );
             }
         }
     }

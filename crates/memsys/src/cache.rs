@@ -174,7 +174,8 @@ impl SetAssocCache {
         let len = self.lens[idx] as usize;
         let set = &self.tags[base..base + len];
         if let Some(pos) = set.iter().position(|&t| t == line) {
-            self.tags.copy_within(base + pos + 1..base + len, base + pos);
+            self.tags
+                .copy_within(base + pos + 1..base + len, base + pos);
             self.lens[idx] = len as u8 - 1;
             true
         } else {

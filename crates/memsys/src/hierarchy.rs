@@ -66,7 +66,12 @@ impl CacheHierarchy {
     /// L1 hits can be stable — any deeper service level fills lines and
     /// reorders LRU stacks on the way back.
     #[inline]
-    pub fn access_stable(&mut self, core: CoreId, node: NodeId, paddr: u64) -> (ServiceLevel, bool) {
+    pub fn access_stable(
+        &mut self,
+        core: CoreId,
+        node: NodeId,
+        paddr: u64,
+    ) -> (ServiceLevel, bool) {
         let (hit, mru) = self.l1[core.index()].access_stable(paddr);
         if hit {
             return (ServiceLevel::L1, mru);

@@ -17,6 +17,12 @@ pub enum AccessKind {
 }
 
 /// The outcome of a single memory access.
+///
+/// For DRAM-serviced accesses the total is reported *attributed*: `queue`
+/// and `inter` name the controller-queueing and interconnect components
+/// included in `cycles` (the remainder is DRAM service proper — L3-miss
+/// detection plus array access). Cache hits have both components zero.
+/// The invariant `queue + inter <= cycles` always holds.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct AccessOutcome {
     /// Total latency charged for the access, in cycles.
@@ -27,6 +33,11 @@ pub struct AccessOutcome {
     pub from_node: NodeId,
     /// Home node of the physical address (meaningful when `level` is DRAM).
     pub home_node: NodeId,
+    /// Controller queueing delay included in `cycles` (DRAM only, else 0).
+    pub queue: u32,
+    /// Interconnect delay included in `cycles`: hop latency plus link
+    /// queueing (DRAM only, else 0).
+    pub inter: u32,
 }
 
 impl AccessOutcome {
@@ -164,6 +175,7 @@ impl MemorySystem {
         if level != ServiceLevel::L1 {
             self.epoch.l2_accesses += 1;
         }
+        let (mut queue, mut inter) = (0, 0);
         let cycles = match level {
             ServiceLevel::L1 => self.config.l1_latency,
             ServiceLevel::L2 => self.config.l2_latency,
@@ -180,15 +192,12 @@ impl MemorySystem {
                     } else {
                         self.epoch.dram_remote += 1;
                     }
-                    let queue = self.controllers[home.index()].request();
+                    queue = self.controllers[home.index()].request();
                     let route = self.topology.route(from, home);
                     let hops = route.hops();
                     let link_delay = self.links.traverse(route);
-                    self.config.l3_latency
-                        + self.config.dram_base_latency
-                        + queue
-                        + hops * self.config.hop_latency
-                        + link_delay
+                    inter = hops * self.config.hop_latency + link_delay;
+                    self.config.l3_latency + self.config.dram_base_latency + queue + inter
                 }
             }
         };
@@ -197,6 +206,8 @@ impl MemorySystem {
             level,
             from_node: from,
             home_node: home,
+            queue,
+            inter,
         }
     }
 
@@ -217,16 +228,15 @@ impl MemorySystem {
         let route = self.topology.route(from, home);
         let hops = route.hops();
         let link_delay = self.links.traverse(route);
-        let cycles = self.config.l3_latency
-            + self.config.dram_base_latency
-            + queue
-            + hops * self.config.hop_latency
-            + link_delay;
+        let inter = hops * self.config.hop_latency + link_delay;
+        let cycles = self.config.l3_latency + self.config.dram_base_latency + queue + inter;
         AccessOutcome {
             cycles,
             level: ServiceLevel::Dram,
             from_node: from,
             home_node: home,
+            queue,
+            inter,
         }
     }
 
@@ -244,16 +254,15 @@ impl MemorySystem {
         let route = self.topology.route(from, home);
         let hops = route.hops();
         let link_delay = self.links.peek(route);
-        let cycles = self.config.l3_latency
-            + self.config.dram_base_latency
-            + queue
-            + hops * self.config.hop_latency
-            + link_delay;
+        let inter = hops * self.config.hop_latency + link_delay;
+        let cycles = self.config.l3_latency + self.config.dram_base_latency + queue + inter;
         AccessOutcome {
             cycles,
             level: ServiceLevel::Dram,
             from_node: from,
             home_node: home,
+            queue,
+            inter,
         }
     }
 
@@ -297,6 +306,7 @@ impl MemorySystem {
         if level != ServiceLevel::L1 {
             self.epoch.l2_accesses += 1;
         }
+        let (mut queue, mut inter) = (0, 0);
         let cycles = match level {
             ServiceLevel::L1 => self.config.l1_latency,
             ServiceLevel::L2 => self.config.l2_latency,
@@ -313,15 +323,12 @@ impl MemorySystem {
                     } else {
                         self.epoch.dram_remote += 1;
                     }
-                    let queue = self.controllers[home.index()].request();
+                    queue = self.controllers[home.index()].request();
                     let route = self.topology.route(from, home);
                     let hops = route.hops();
                     let link_delay = self.links.traverse(route);
-                    self.config.l3_latency
-                        + self.config.dram_base_latency
-                        + queue
-                        + hops * self.config.hop_latency
-                        + link_delay
+                    inter = hops * self.config.hop_latency + link_delay;
+                    self.config.l3_latency + self.config.dram_base_latency + queue + inter
                 }
             }
         };
@@ -331,6 +338,8 @@ impl MemorySystem {
                 level,
                 from_node: from,
                 home_node: home,
+                queue,
+                inter,
             },
             stable,
         )
@@ -524,6 +533,25 @@ mod tests {
         assert_eq!(s.dram_local, 1);
         assert_eq!(m.epoch_stats().dram_local, 0);
         assert_eq!(m.lifetime_stats().dram_local, 1);
+    }
+
+    #[test]
+    fn outcome_components_are_attributed() {
+        let mut m = system();
+        // Cold: DRAM. Components must be consistent with the total and the
+        // uncached/peek paths must agree with the access path's shape.
+        let dram = m.access(CoreId(0), 0x50_0000, NodeId(1), AccessKind::Data);
+        assert!(dram.dram());
+        assert!(dram.inter > 0, "remote access crosses the interconnect");
+        assert!(u64::from(dram.queue) + u64::from(dram.inter) <= u64::from(dram.cycles));
+        // Warm: L1 hit. No DRAM-path components.
+        let hit = m.access(CoreId(0), 0x50_0000, NodeId(1), AccessKind::Data);
+        assert_eq!(hit.level, ServiceLevel::L1);
+        assert_eq!((hit.queue, hit.inter), (0, 0));
+        let peek = m.peek_uncached(CoreId(0), NodeId(1));
+        let charged = m.access_uncached(CoreId(0), NodeId(1));
+        assert_eq!(peek.inter, charged.inter);
+        assert!(u64::from(charged.queue) + u64::from(charged.inter) <= u64::from(charged.cycles));
     }
 
     #[test]

@@ -14,6 +14,11 @@
 //! * [`EpochCounters`] — the per-epoch "perf counter" snapshot policies
 //!   read: L2 misses (total and walk-caused), DRAM locality, per-controller
 //!   request counts, per-core page-fault time.
+//! * [`CycleBreakdown`] — the cycle-attribution ledger: one interval's
+//!   wall cycles split into exhaustive, mutually exclusive buckets
+//!   (compute, cache levels, DRAM service, controller queueing,
+//!   interconnect, page walks, faults, policy overhead), conserving the
+//!   total exactly.
 //! * [`metrics`] — the paper's derived metrics: local access ratio (LAR),
 //!   memory-controller imbalance, PAMUP, NHP, and PSP (Table 2).
 //! * [`PageAccessStats`] — exact per-4KiB-page access counts and thread
@@ -31,11 +36,13 @@
 //! assert!(metrics::imbalance(&[400, 0, 0, 0]) > 150.0);
 //! ```
 
+mod breakdown;
 mod counters;
 mod ibs;
 pub mod metrics;
 mod pagestats;
 
+pub use breakdown::{CycleBreakdown, BUCKET_COUNT};
 pub use counters::{CoreFaultTime, EpochCounters};
 pub use ibs::{IbsConfig, IbsSample, IbsSampler};
 pub use pagestats::{PageAccessStats, PageCell};

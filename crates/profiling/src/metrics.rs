@@ -140,4 +140,37 @@ mod tests {
     fn hot_page_fraction_matches_paper() {
         assert!((HOT_PAGE_FRACTION - 0.06).abs() < 1e-12);
     }
+
+    #[test]
+    fn imbalance_with_single_controller_is_zero() {
+        // A one-controller machine cannot be imbalanced: the standard
+        // deviation of a single sample is 0 regardless of its load.
+        assert_eq!(imbalance(&[0]), 0.0);
+        assert_eq!(imbalance(&[1]), 0.0);
+        assert_eq!(imbalance(&[u64::MAX >> 16]), 0.0);
+    }
+
+    #[test]
+    fn page_metrics_on_empty_access_sets_are_zero() {
+        // Both shapes of "no accesses": no page rows at all, and page
+        // rows whose counts are all zero (pages mapped but never
+        // touched during the profiling epoch).
+        let untouched = [(0u64, 0u64, 0b11u64), (4096, 0, 0b01)];
+        assert_eq!(pamup(&[]), 0.0);
+        assert_eq!(pamup(&untouched), 0.0);
+        assert_eq!(nhp(&[]), 0);
+        assert_eq!(nhp(&untouched), 0);
+        assert_eq!(psp(&[]), 0.0);
+        assert_eq!(psp(&untouched), 0.0);
+    }
+
+    #[test]
+    fn nhp_threshold_is_exclusive_at_hot_page_fraction() {
+        // 1000 accesses: 60 is exactly HOT_PAGE_FRACTION (6 %) and must
+        // NOT count (paper footnote 3 says *more than*); 61 must.
+        let at = [(0u64, 60u64, 1u64), (4096, 940, 1)];
+        let over = [(0u64, 61u64, 1u64), (4096, 939, 1)];
+        assert_eq!(nhp(&at), 1, "only the 940-count page is hot");
+        assert_eq!(nhp(&over), 2, "61/1000 is strictly over 6 %");
+    }
 }

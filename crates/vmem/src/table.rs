@@ -145,6 +145,14 @@ impl WalkResult {
     pub fn steps(&self) -> &[WalkStep] {
         &self.steps[..self.len]
     }
+
+    /// Number of page-table levels referenced: 4 for a 4 KiB leaf, 3 for
+    /// 2 MiB, 2 for 1 GiB — the paper's "huge pages shorten the walk"
+    /// effect, exposed for attribution.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.len
+    }
 }
 
 /// Errors from page-table structural operations.

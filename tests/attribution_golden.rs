@@ -1,0 +1,70 @@
+//! Attribution over the golden cells: conservation and non-perturbation.
+//!
+//! Tier-1 guarantee for the cycle-attribution ledger (DESIGN.md §11),
+//! checked on all six pinned golden configurations (UA.B and CG.D under
+//! Linux, THP, and Carrefour-LP on machine A):
+//!
+//! 1. **Conservation** — with attribution on, the ledger's buckets sum
+//!    to `runtime_cycles` exactly, as integers, and every epoch's wall
+//!    breakdown reproduces that epoch's cycle counter.
+//! 2. **Non-perturbation** — an attributed run's trace digest still
+//!    matches the checked-in golden, byte for byte: turning the ledger on
+//!    changes no event, no counter, no cycle of any existing output.
+
+use carrefour_bench::golden::{golden_dir, GOLDEN_CELLS};
+use carrefour_bench::runner;
+use engine::{DigestSink, SimConfig, Simulation, TraceDigest};
+use numa_topology::MachineSpec;
+
+#[test]
+fn attributed_golden_runs_conserve_and_match_digests() {
+    let machine = MachineSpec::machine_a();
+    let dir = golden_dir();
+    let jobs = runner::resolve_jobs(None);
+    let rows = runner::par_map(jobs, GOLDEN_CELLS.len(), |i| {
+        let cell = GOLDEN_CELLS[i];
+        let mut config = SimConfig::for_machine(&machine, cell.kind.initial_thp());
+        config.attribution = true;
+        let spec = cell.bench.spec(&machine);
+        let mut policy = cell.kind.make();
+        let mut sink = DigestSink::new();
+        let result = Simulation::run_traced(&machine, &spec, &config, policy.as_mut(), &mut sink);
+        let mut digest = sink.into_digest();
+        digest.policy = cell.kind.label().to_string();
+        digest.runtime_cycles = result.runtime_cycles;
+        (cell, result, digest)
+    });
+    for (cell, result, digest) in rows {
+        let name = format!("{}/{}", cell.bench.name(), cell.kind.label());
+        let ledger = result
+            .attribution
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: attribution was on but no ledger came back"));
+        assert!(
+            ledger.conserves(result.runtime_cycles),
+            "{name}: buckets sum to {}, runtime is {} (diff {})",
+            ledger.total.total(),
+            result.runtime_cycles,
+            ledger.total.total() as i128 - result.runtime_cycles as i128
+        );
+        for (e, rec) in ledger.epochs.iter().zip(&result.epochs) {
+            let threads = e.cores.len().max(1) as u64;
+            assert_eq!(
+                e.wall.total(),
+                rec.counters.epoch_cycles + rec.overhead_cycles / threads,
+                "{name}: an epoch's wall breakdown diverged from its counter"
+            );
+        }
+        let path = cell.path(&dir);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{name}: missing golden {} ({e})", path.display()));
+        let golden = TraceDigest::from_json(&text)
+            .unwrap_or_else(|e| panic!("{name}: unparseable golden {} ({e})", path.display()));
+        if let Some(diff) = golden.diff(&digest) {
+            panic!(
+                "{name}: attribution perturbed the simulation — the attributed \
+                 run's digest no longer matches the checked-in golden:\n{diff}"
+            );
+        }
+    }
+}
