@@ -8,11 +8,18 @@
 //! to `results/BENCH_runner.json` — the repo's performance trajectory file
 //! (schema in DESIGN.md §10).
 
-use carrefour_bench::runner::{self, Progress, TimedCell};
-use carrefour_bench::{attrib, experiments};
+use carrefour_bench::runner::{self, CellOutcome, Progress, TimedCell};
+use carrefour_bench::{attrib, experiments, journal};
 use std::collections::HashMap;
 
+/// The journal suite name: one journal serves the whole binary, whatever
+/// `--only` subset is running (cell keys are globally unique).
+const SUITE: &str = "all";
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    let only = only_from_args(&args);
     let compare = compare_from_args();
     let attrib_on = std::env::args().any(|a| a == "--attrib") || carrefour_bench::attrib_enabled();
     if attrib_on {
@@ -24,7 +31,17 @@ fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let exps = experiments::all();
+    let mut exps = experiments::all();
+    if let Some(names) = &only {
+        let known: Vec<&str> = exps.iter().map(|e| e.name).collect();
+        for n in names {
+            assert!(
+                known.contains(&n.as_str()),
+                "--only: unknown experiment {n:?}; known: {known:?}"
+            );
+        }
+        exps.retain(|e| names.iter().any(|n| n == e.name));
+    }
 
     // Dedup identical cells across experiments: equal keys mean equal
     // simulation inputs, and determinism means equal results.
@@ -52,15 +69,106 @@ fn main() {
         host_cores
     );
 
-    let progress = Progress::new("all", unique.len());
-    let timed = runner::run_cells_timed(&unique, jobs, &progress);
+    // The crash journal. A fresh run starts it over; `--resume` keeps it
+    // and pre-fills every cell the previous (killed or failed) run already
+    // completed — determinism makes the spliced results indistinguishable
+    // from an uninterrupted run.
+    if !resume {
+        let _ = std::fs::remove_file(journal::journal_path(SUITE));
+    }
+    let jnl = match journal::Journal::open_append(SUITE) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!(
+                "warning: running without a crash journal: cannot open {}: {e}",
+                journal::journal_path(SUITE).display()
+            );
+            None
+        }
+    };
+    let keys: Vec<String> = unique.iter().map(|s| s.key()).collect();
+    let mut journaled = if resume {
+        journal::load(SUITE)
+    } else {
+        HashMap::new()
+    };
+    let mut filled: Vec<Option<TimedCell>> = keys
+        .iter()
+        .map(|k| {
+            journaled.remove(k).map(|j| TimedCell {
+                cell: j.cell,
+                wall_secs: j.wall_secs,
+            })
+        })
+        .collect();
+    if resume {
+        let restored = filled.iter().filter(|s| s.is_some()).count();
+        eprintln!(
+            "[all] resume: {restored} of {} cells restored from {}",
+            unique.len(),
+            journal::journal_path(SUITE).display()
+        );
+    }
+
+    let todo: Vec<usize> = (0..unique.len()).filter(|&i| filled[i].is_none()).collect();
+    let todo_specs: Vec<runner::CellSpec> = todo.iter().map(|&i| unique[i].clone()).collect();
+    let progress = Progress::new("all", todo_specs.len());
+    let outcomes = runner::run_cells_outcomes(&todo_specs, jobs, &progress, |i, t| {
+        if let Some(j) = &jnl {
+            j.record_ok(&todo_specs[i].key(), t);
+        }
+    });
     let total_wall_secs = progress.finish();
+
+    let mut failed: Vec<(String, String)> = Vec::new();
+    for (oi, outcome) in outcomes.into_iter().enumerate() {
+        let slot = todo[oi];
+        match outcome {
+            CellOutcome::Ok(t) => filled[slot] = Some(t),
+            CellOutcome::TimedOut { secs, result } => {
+                eprintln!(
+                    "[all] warning: cell {} finished past the soft deadline ({secs:.1}s)",
+                    unique[slot].describe()
+                );
+                filled[slot] = Some(result);
+            }
+            CellOutcome::Panicked { msg } => {
+                if let Some(j) = &jnl {
+                    j.record_panicked(&keys[slot], &msg);
+                }
+                failed.push((unique[slot].describe(), msg));
+            }
+        }
+    }
 
     for (e, slots) in exps.iter().zip(&exp_slots) {
         println!("################ {} ################", e.name);
-        let cells: Vec<_> = slots.iter().map(|&i| timed[i].cell.clone()).collect();
-        (e.render)(&cells);
+        let cells: Option<Vec<_>> = slots
+            .iter()
+            .map(|&i| filled[i].as_ref().map(|t| t.cell.clone()))
+            .collect();
+        match cells {
+            Some(cells) => (e.render)(&cells),
+            None => {
+                let n = slots.iter().filter(|&&i| filled[i].is_none()).count();
+                println!("SKIPPED: {n} cell(s) failed; see stderr.");
+            }
+        }
     }
+
+    if !failed.is_empty() {
+        eprintln!("[all] {} cell(s) FAILED:", failed.len());
+        for (what, msg) in &failed {
+            eprintln!("[all]   {what}: {msg}");
+        }
+        eprintln!("[all] rerun with --resume to retry only the failed cells");
+        std::process::exit(1);
+    }
+
+    let timed: Vec<TimedCell> = filled
+        .into_iter()
+        .map(|s| s.expect("no failures, so every slot is filled"))
+        .collect();
 
     write_bench_runner_json(&exps, &exp_slots, &timed, jobs, host_cores, total_wall_secs);
 
@@ -73,7 +181,8 @@ fn main() {
         for c in &cells {
             let ledger = c.result.attribution.as_ref().unwrap_or_else(|| {
                 panic!(
-                    "--attrib was on but {}/{} has no ledger",
+                    "--attrib was on but {}/{} has no ledger \
+                     (a journal written without --attrib cannot resume an --attrib run)",
                     c.benchmark, c.policy
                 )
             });
@@ -84,19 +193,43 @@ fn main() {
                 c.policy
             );
         }
-        if std::fs::create_dir_all("results").is_ok()
-            && std::fs::write("results/ATTRIB_all.json", attrib::baseline_json(&cells)).is_ok()
+        match std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/ATTRIB_all.json", attrib::baseline_json(&cells)))
         {
-            eprintln!(
+            Ok(()) => eprintln!(
                 "[all] wrote results/ATTRIB_all.json ({} cells)",
                 cells.len()
-            );
+            ),
+            Err(e) => eprintln!("warning: could not write results/ATTRIB_all.json: {e}"),
         }
     }
 
     if let Some(path) = compare {
         compare_against_baseline(&path, &exps, &exp_slots, &timed, total_wall_secs);
     }
+}
+
+/// Parses `--only <a,b,c>` / `--only=a,b,c`: the comma-separated list of
+/// experiment names to run (used by the CI kill-and-resume smoke test to
+/// keep the interrupted suite small).
+fn only_from_args(args: &[String]) -> Option<Vec<String>> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let v = if a == "--only" {
+            it.next().cloned()
+        } else {
+            a.strip_prefix("--only=").map(str::to_string)
+        };
+        if let Some(v) = v {
+            return Some(
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+            );
+        }
+    }
+    None
 }
 
 /// Parses `--compare <path>` / `--compare=<path>` out of the arguments.
@@ -305,9 +438,10 @@ fn write_bench_runner_json(
         ));
     }
     out.push_str("  ]\n}\n");
-    if std::fs::create_dir_all("results").is_ok()
-        && std::fs::write("results/BENCH_runner.json", &out).is_ok()
+    match std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_runner.json", &out))
     {
-        eprintln!("[all] wrote results/BENCH_runner.json");
+        Ok(()) => eprintln!("[all] wrote results/BENCH_runner.json"),
+        Err(e) => eprintln!("warning: could not write results/BENCH_runner.json: {e}"),
     }
 }

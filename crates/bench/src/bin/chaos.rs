@@ -25,11 +25,18 @@
 //! submitted up front, fans out across `--jobs` workers with live
 //! progress, and comes back in deterministic submission order.
 //!
+//! `chaos --checkpoint` runs a different sweep: for every injected fault
+//! class it snapshots the simulation at a sample of epoch boundaries
+//! (faults fire in essentially every epoch under these plans) and asserts
+//! that resuming each `ckpt-v1` snapshot reproduces the uninterrupted
+//! result exactly, printing one PASS/FAIL verdict row per fault class and
+//! exiting nonzero on any divergence.
+//!
 //! [`FaultRates::corruption`]: engine::FaultRates::corruption
 
-use carrefour_bench::runner::{self, CellSpec, Progress, Workload};
+use carrefour_bench::runner::{self, par_map, CellSpec, Progress, Workload};
 use carrefour_bench::{save_json, Cell, PolicyKind};
-use engine::{FaultConfig, SimResult};
+use engine::{FaultConfig, SimConfig, SimResult, Simulation};
 use numa_topology::MachineSpec;
 use workloads::Benchmark;
 
@@ -83,7 +90,138 @@ fn runtime(results: &[(String, f64, SimResult)], policy: &str, rate: f64) -> u64
         .unwrap_or_else(|| panic!("missing run {policy}@{rate}"))
 }
 
+/// One `--checkpoint` verification case: a fault class at one rate.
+struct CkptCase {
+    bench: Benchmark,
+    label: String,
+    faults: FaultConfig,
+}
+
+/// The verdict of one case: which epochs were checked and which diverged.
+struct CkptVerdict {
+    n_epochs: u32,
+    checked: Vec<u32>,
+    diverged: Vec<u32>,
+}
+
+/// Runs one fault-injected cell uninterrupted, then snapshots at a
+/// deterministic sample of epoch boundaries (both edges, the early epochs
+/// where THP-allocation fallbacks cluster, and the middle) and asserts
+/// that resuming each checkpoint reproduces the uninterrupted
+/// [`SimResult`] exactly. Under the uniform and corruption fault plans
+/// faults fire in essentially every epoch, so the sampled boundaries are
+/// injected-fault epochs; the precisely-aimed adversarial epochs (the
+/// exact veto round, mid-backoff, a tripped breaker) are covered by the
+/// `checkpoint_resume` proptests in `crates/bench/tests/`.
+fn verify_case(machine: &MachineSpec, case: &CkptCase) -> CkptVerdict {
+    let kind = PolicyKind::CarrefourLp;
+    let mut config = SimConfig::for_machine(machine, kind.initial_thp());
+    config.attribution = carrefour_bench::attrib_enabled();
+    config.faults = case.faults;
+    let spec = case.bench.spec(machine);
+    let mut policy = kind.make();
+    let full = Simulation::run(machine, &spec, &config, policy.as_mut());
+    let n = full.epochs.len() as u32;
+
+    let mut checked: Vec<u32> = vec![0, 1, 2, n / 2, n.saturating_sub(1), n];
+    checked.sort_unstable();
+    checked.dedup();
+    checked.retain(|&e| e <= n);
+    let mut diverged = Vec::new();
+    for &epoch in &checked {
+        let mut p1 = kind.make();
+        let Some(ckpt) = Simulation::checkpoint_at(machine, &spec, &config, p1.as_mut(), epoch)
+        else {
+            diverged.push(epoch);
+            continue;
+        };
+        let mut p2 = kind.make();
+        let resumed = Simulation::resume(machine, &spec, &config, p2.as_mut(), &ckpt);
+        if resumed != full {
+            diverged.push(epoch);
+        }
+    }
+    CkptVerdict {
+        n_epochs: n,
+        checked,
+        diverged,
+    }
+}
+
+/// `chaos --checkpoint`: resume-equivalence verification under every
+/// injected fault class, one verdict row per (benchmark, class, rate).
+/// Exits nonzero if any resume diverges.
+fn checkpoint_mode() {
+    let machine = MachineSpec::machine_a();
+    let mut cases: Vec<CkptCase> = Vec::new();
+    // Every fault class on UA.B: each operational rate plus each
+    // corruption rate. CG.D spot-checks both classes at one rate so a
+    // second workload shape is covered without doubling the sweep.
+    for &r in RATES.iter().filter(|&&r| r > 0.0) {
+        cases.push(CkptCase {
+            bench: Benchmark::UaB,
+            label: format!("operational@{r}"),
+            faults: FaultConfig::uniform(FAULT_SEED, r),
+        });
+    }
+    for &r in &CORRUPTION_RATES {
+        cases.push(CkptCase {
+            bench: Benchmark::UaB,
+            label: format!("corruption@{r}"),
+            faults: FaultConfig::corruption(FAULT_SEED, r),
+        });
+    }
+    cases.push(CkptCase {
+        bench: Benchmark::CgD,
+        label: "operational@0.2".to_string(),
+        faults: FaultConfig::uniform(FAULT_SEED, 0.2),
+    });
+    cases.push(CkptCase {
+        bench: Benchmark::CgD,
+        label: "corruption@0.02".to_string(),
+        faults: FaultConfig::corruption(FAULT_SEED, 0.02),
+    });
+
+    println!(
+        "== Checkpoint/resume equivalence under injected faults ({}) ==",
+        machine.name()
+    );
+    let jobs = runner::default_jobs();
+    let verdicts = par_map(jobs, cases.len(), |i| verify_case(&machine, &cases[i]));
+
+    println!(
+        "{:<8} {:<18} {:>7} {:>16}  verdict",
+        "bench", "fault class", "epochs", "checked"
+    );
+    let mut failures = 0usize;
+    for (case, v) in cases.iter().zip(&verdicts) {
+        let verdict = if v.diverged.is_empty() {
+            "PASS resume-equivalent".to_string()
+        } else {
+            failures += 1;
+            format!("FAIL diverged at epochs {:?}", v.diverged)
+        };
+        println!(
+            "{:<8} {:<18} {:>7} {:>16}  {}",
+            case.bench.name(),
+            case.label,
+            v.n_epochs,
+            format!("{} boundaries", v.checked.len()),
+            verdict
+        );
+    }
+    if failures > 0 {
+        eprintln!("chaos --checkpoint: {failures} fault class(es) are NOT resume-equivalent");
+        std::process::exit(1);
+    }
+    println!("all {} fault classes resume-equivalent", cases.len());
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--checkpoint") {
+        checkpoint_mode();
+        return;
+    }
     let machine = MachineSpec::machine_a();
     let benches = [Benchmark::UaB, Benchmark::CgD];
     let jobs = runner::default_jobs();
@@ -152,7 +290,7 @@ fn main() {
         let worst = &results
             .iter()
             .find(|(p, r, _)| p == "carrefour-lp" && *r == top)
-            .expect("worst-case run")
+            .unwrap_or_else(|| panic!("missing carrefour-lp@{top} in the results grid"))
             .2;
         let rb = &worst.robustness;
         println!(

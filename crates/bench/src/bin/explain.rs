@@ -31,6 +31,13 @@ use numa_topology::MachineSpec;
 use std::path::Path;
 use workloads::Benchmark;
 
+/// Reports a usage error on stderr and exits 2 (CLI misuse is not a bug:
+/// no panic, no backtrace).
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 /// Runs one cell with attribution on (directly, not via the environment)
 /// and panics if the ledger does not conserve — an `explain` report built
 /// from a non-conserving ledger would narrate cycles that don't exist.
@@ -41,7 +48,13 @@ fn run_attributed(machine: &MachineSpec, bench: Benchmark, kind: PolicyKind) -> 
     let mut policy = kind.make();
     let mut result = Simulation::run(machine, &spec, &config, policy.as_mut());
     result.policy = kind.label().to_string();
-    let ledger = result.attribution.as_ref().expect("attribution was on");
+    let ledger = result.attribution.as_ref().unwrap_or_else(|| {
+        panic!(
+            "{}/{}: attribution was enabled but the result carries no ledger",
+            bench.name(),
+            kind.label()
+        )
+    });
     assert!(
         ledger.conserves(result.runtime_cycles),
         "{}/{}: ledger does not conserve ({} != {})",
@@ -65,8 +78,8 @@ fn explain_pair(machine: &MachineSpec, bench: Benchmark, base: PolicyKind, cand:
     let mut cells = par_map(resolve_jobs(None).min(2), 2, |i| {
         run_attributed(machine, bench, kinds[i])
     });
-    let cand_cell = cells.pop().expect("two cells ran");
-    let base_cell = cells.pop().expect("two cells ran");
+    let cand_cell = cells.pop().expect("par_map(2) returned both cells");
+    let base_cell = cells.pop().expect("par_map(2) returned both cells");
     print!("{}", attrib::narrative(&base_cell, &cand_cell));
     match attrib::write_report(Path::new("results"), &base_cell, &cand_cell) {
         Ok(path) => println!("  report: {}\n", path.display()),
@@ -85,9 +98,13 @@ fn golden_baseline() {
         run_attributed(&machine, c.bench, c.kind)
     });
     let dir = Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results/");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        die(&format!("could not create {}: {e}", dir.display()));
+    }
     let path = dir.join("BENCH_attrib_baseline.json");
-    std::fs::write(&path, attrib::baseline_json(&cells)).expect("write baseline");
+    if let Err(e) = std::fs::write(&path, attrib::baseline_json(&cells)) {
+        die(&format!("could not write {}: {e}", path.display()));
+    }
     println!(
         "wrote {} ({} attributed cells)",
         path.display(),
@@ -102,14 +119,20 @@ fn parse_bench(name: &str) -> Benchmark {
         .find(|b| b.name().eq_ignore_ascii_case(name))
         .unwrap_or_else(|| {
             let known: Vec<&str> = Benchmark::all().iter().map(|b| b.name()).collect();
-            panic!("unknown benchmark {name:?}; known: {}", known.join(", "))
+            die(&format!(
+                "unknown benchmark {name:?}; known: {}",
+                known.join(", ")
+            ))
         })
 }
 
 fn parse_policy(label: &str) -> PolicyKind {
     PolicyKind::parse(label).unwrap_or_else(|| {
         let known: Vec<&str> = PolicyKind::all().iter().map(|k| k.label()).collect();
-        panic!("unknown policy {label:?}; known: {}", known.join(", "))
+        die(&format!(
+            "unknown policy {label:?}; known: {}",
+            known.join(", ")
+        ))
     })
 }
 
@@ -125,11 +148,13 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--machine" => {
-                let v = it.next().expect("--machine needs a value (a|b)");
+                let Some(v) = it.next() else {
+                    die("--machine needs a value (a|b)");
+                };
                 machine = match v.as_str() {
                     "a" | "machine-a" => MachineSpec::machine_a(),
                     "b" | "machine-b" => MachineSpec::machine_b(),
-                    other => panic!("unknown machine {other:?} (want a|b)"),
+                    other => die(&format!("unknown machine {other:?} (want a|b)")),
                 };
             }
             "--jobs" => {
@@ -154,10 +179,10 @@ fn main() {
                 parse_policy(cand),
             );
         }
-        other => panic!(
+        other => die(&format!(
             "usage: explain [<bench> <base-policy> <cand-policy>] [--machine a|b] | --golden \
              (got {} positional args)",
             other.len()
-        ),
+        )),
     }
 }

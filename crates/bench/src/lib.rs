@@ -16,6 +16,7 @@ use workloads::Benchmark;
 pub mod attrib;
 pub mod experiments;
 pub mod golden;
+pub mod journal;
 pub mod runner;
 
 /// Whether experiment binaries should record the cycle-attribution ledger
@@ -204,14 +205,18 @@ pub fn improvement(
 }
 
 /// Writes cells as pretty JSON under `results/<name>.json` (best effort —
-/// experiments still print their tables when the directory is read-only).
+/// experiments still print their tables when the directory is read-only —
+/// but never silent: a failed write warns on stderr with the io::Error).
 pub fn save_json(name: &str, cells: &[Cell]) {
     let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    let _ = std::fs::write(path, json::cells_to_json(cells));
+    if let Err(e) = std::fs::write(&path, json::cells_to_json(cells)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
 }
 
 /// Formats a signed percentage the way the paper's figures label bars.
@@ -232,7 +237,7 @@ pub mod json {
     use vmem::VmemStats;
 
     /// Escapes a string for a JSON string literal (without quotes).
-    fn esc(s: &str) -> String {
+    pub fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
         for c in s.chars() {
             match c {

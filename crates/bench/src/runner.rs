@@ -191,27 +191,164 @@ pub fn default_jobs() -> usize {
     resolve_jobs(jobs_from_args())
 }
 
-/// Executes `f(0..n)` on up to `jobs` scoped worker threads and returns
-/// the results **in index order**. Workers pull indices from a shared
-/// atomic counter (dynamic load balancing: a slow cell never blocks the
-/// queue) and a worker panic propagates out of the enclosing
-/// `thread::scope`. With `jobs <= 1` the closure runs inline on the
-/// caller's thread — the strictly sequential path CI keeps covered.
-pub fn par_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+/// How one isolated job ended.
+///
+/// The pool wraps every job in `catch_unwind`, so a panicking cell is a
+/// *report*, not a suite abort: the remaining cells still run, and the
+/// caller decides what a failure costs (the figure binaries re-raise, the
+/// suite runner lists failures and exits nonzero).
+#[derive(Debug)]
+pub enum CellOutcome<T> {
+    /// The job completed within the soft deadline.
+    Ok(T),
+    /// The job panicked; `msg` is the panic payload (the default panic
+    /// hook has already printed location and backtrace to stderr).
+    Panicked {
+        /// The panic payload, when it was a string (they all are, here).
+        msg: String,
+    },
+    /// The job completed but blew past the soft deadline — the result is
+    /// still valid (the watchdog never kills work), the overrun is flagged.
+    TimedOut {
+        /// Host seconds the job actually took.
+        secs: f64,
+        /// The completed result.
+        result: T,
+    },
+}
+
+impl<T> CellOutcome<T> {
+    /// The completed result, if any (`TimedOut` results are valid).
+    pub fn into_result(self) -> Option<T> {
+        match self {
+            CellOutcome::Ok(v) | CellOutcome::TimedOut { result: v, .. } => Some(v),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Borrowing variant of [`CellOutcome::into_result`].
+    pub fn result(&self) -> Option<&T> {
+        match self {
+            CellOutcome::Ok(v) | CellOutcome::TimedOut { result: v, .. } => Some(v),
+            CellOutcome::Panicked { .. } => None,
+        }
+    }
+
+    /// Whether the job panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, CellOutcome::Panicked { .. })
+    }
+}
+
+/// Renders a caught panic payload (panics in this codebase are always
+/// `&str` or `String` — `panic!` with a format string).
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The soft per-cell deadline in host seconds (`CARREFOUR_CELL_DEADLINE_SECS`,
+/// default 300). `0` disables the watchdog entirely.
+pub fn cell_deadline_secs() -> f64 {
+    std::env::var("CARREFOUR_CELL_DEADLINE_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300.0)
+}
+
+/// Panic-isolating variant of [`par_map`]: executes `f(0..n)` on up to
+/// `jobs` scoped workers and returns one [`CellOutcome`] per index, **in
+/// index order**. A panicking job is caught and reported in its slot while
+/// the rest of the queue drains normally. A soft watchdog thread warns on
+/// stderr when a running job exceeds `deadline_secs` (never killing it);
+/// jobs that finish past the deadline come back as
+/// [`CellOutcome::TimedOut`]. `describe(i)` labels job `i` in warnings.
+pub fn par_map_outcomes<T, F, D>(
+    jobs: usize,
+    n: usize,
+    deadline_secs: f64,
+    describe: D,
+    f: F,
+) -> Vec<CellOutcome<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
+    D: Fn(usize) -> String + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Mutex;
+
+    // Start timestamps of in-flight jobs, for the watchdog.
+    let started: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let all_done = AtomicBool::new(false);
+    let run_one = |i: usize| -> CellOutcome<T> {
+        let t = Instant::now();
+        *started[i].lock().unwrap() = Some(t);
+        let caught = catch_unwind(AssertUnwindSafe(|| f(i)));
+        *started[i].lock().unwrap() = None;
+        match caught {
+            Ok(v) => {
+                let secs = t.elapsed().as_secs_f64();
+                if deadline_secs > 0.0 && secs > deadline_secs {
+                    CellOutcome::TimedOut { secs, result: v }
+                } else {
+                    CellOutcome::Ok(v)
+                }
+            }
+            Err(p) => {
+                let msg = panic_message(p.as_ref());
+                eprintln!("[runner] cell {} panicked: {msg}", describe(i));
+                CellOutcome::Panicked { msg }
+            }
+        }
+    };
+
     let workers = jobs.max(1).min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run_one).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut chunks: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+    let mut chunks: Vec<Vec<(usize, CellOutcome<T>)>> = std::thread::scope(|s| {
+        if deadline_secs > 0.0 {
+            // The soft watchdog: warn (once per cell) when a running cell
+            // blows past the deadline. It flags, it never kills — the cell
+            // keeps running and reports `TimedOut` when it completes.
+            let started = &started;
+            let all_done = &all_done;
+            let describe = &describe;
+            s.spawn(move || {
+                let mut warned = vec![false; n];
+                while !all_done.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    for (i, w) in warned.iter_mut().enumerate() {
+                        if *w {
+                            continue;
+                        }
+                        let overdue = started[i]
+                            .lock()
+                            .unwrap()
+                            .is_some_and(|t0| t0.elapsed().as_secs_f64() > deadline_secs);
+                        if overdue {
+                            *w = true;
+                            eprintln!(
+                                "[runner] watchdog: cell {} still running after {deadline_secs:.0}s",
+                                describe(i)
+                            );
+                        }
+                    }
+                }
+            });
+        }
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
-                let f = &f;
+                let run_one = &run_one;
                 s.spawn(move || {
                     let mut out = Vec::new();
                     loop {
@@ -219,19 +356,21 @@ where
                         if i >= n {
                             return out;
                         }
-                        out.push((i, f(i)));
+                        out.push((i, run_one(i)));
                     }
                 })
             })
             .collect();
-        handles
+        let chunks = handles
             .into_iter()
             .map(|h| h.join().expect("runner worker panicked"))
-            .collect()
+            .collect();
+        all_done.store(true, Ordering::Relaxed);
+        chunks
     });
     // Reassemble in submission order: scheduling decided only *where* each
     // index ran, never what it computed.
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut slots: Vec<Option<CellOutcome<T>>> = (0..n).map(|_| None).collect();
     for chunk in &mut chunks {
         for (i, v) in chunk.drain(..) {
             debug_assert!(slots[i].is_none(), "index {i} computed twice");
@@ -242,6 +381,37 @@ where
         .into_iter()
         .map(|s| s.expect("runner lost a job"))
         .collect()
+}
+
+/// Executes `f(0..n)` on up to `jobs` scoped worker threads and returns
+/// the results **in index order**. Workers pull indices from a shared
+/// atomic counter (dynamic load balancing: a slow cell never blocks the
+/// queue). A panicking job no longer aborts its siblings: the remaining
+/// jobs run to completion first, then the first panic is re-raised with
+/// its slot index. With `jobs <= 1` the closure runs inline on the
+/// caller's thread — the strictly sequential path CI keeps covered.
+pub fn par_map<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let outcomes = par_map_outcomes(jobs, n, 0.0, |i| format!("#{i}"), f);
+    let mut out = Vec::with_capacity(n);
+    let mut first_panic: Option<(usize, String)> = None;
+    for (i, o) in outcomes.into_iter().enumerate() {
+        match o {
+            CellOutcome::Ok(v) | CellOutcome::TimedOut { result: v, .. } => out.push(v),
+            CellOutcome::Panicked { msg } => {
+                if first_panic.is_none() {
+                    first_panic = Some((i, msg));
+                }
+            }
+        }
+    }
+    if let Some((i, msg)) = first_panic {
+        panic!("runner job {i} panicked (remaining jobs were allowed to finish): {msg}");
+    }
+    out
 }
 
 /// Live progress reporting shared by every experiment binary. Thread-safe;
@@ -355,6 +525,48 @@ pub fn run_cells_timed(specs: &[CellSpec], jobs: usize, progress: &Progress) -> 
     })
 }
 
+/// Panic-isolating variant of [`run_cells_timed`]: returns one
+/// [`CellOutcome`] per spec, in submission order, instead of aborting the
+/// suite on the first panicking cell. The soft per-cell watchdog deadline
+/// comes from [`cell_deadline_secs`]. `on_done(i, cell)` fires on the
+/// worker thread the moment cell `i` completes — the suite runner hooks
+/// the crash journal there, so a later `SIGKILL` loses at most the cells
+/// still in flight.
+pub fn run_cells_outcomes<H>(
+    specs: &[CellSpec],
+    jobs: usize,
+    progress: &Progress,
+    on_done: H,
+) -> Vec<CellOutcome<TimedCell>>
+where
+    H: Fn(usize, &TimedCell) + Sync,
+{
+    par_map_outcomes(
+        jobs,
+        specs.len(),
+        cell_deadline_secs(),
+        |i| specs[i].describe(),
+        |i| {
+            let spec = &specs[i];
+            let t = Instant::now();
+            let result = run_spec(spec);
+            let wall_secs = t.elapsed().as_secs_f64();
+            progress.cell_done_ops(&spec.describe(), result.lifetime.total_ops);
+            let timed = TimedCell {
+                cell: Cell {
+                    machine: spec.machine.name().to_string(),
+                    benchmark: spec.workload.name(),
+                    policy: spec.policy_label(),
+                    result,
+                },
+                wall_secs,
+            };
+            on_done(i, &timed);
+            timed
+        },
+    )
+}
+
 /// [`run_cells_timed`] without the timing wrapper.
 pub fn run_cells(specs: &[CellSpec], jobs: usize, progress: &Progress) -> Vec<Cell> {
     run_cells_timed(specs, jobs, progress)
@@ -379,6 +591,82 @@ mod tests {
     fn par_map_handles_empty_and_single() {
         assert!(par_map(4, 0, |i| i).is_empty());
         assert_eq!(par_map(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn panicking_job_does_not_abort_siblings() {
+        for jobs in [1, 4] {
+            let outcomes = par_map_outcomes(
+                jobs,
+                9,
+                0.0,
+                |i| format!("#{i}"),
+                |i| {
+                    if i == 3 {
+                        panic!("injected failure in cell {i}");
+                    }
+                    i * 10
+                },
+            );
+            assert_eq!(outcomes.len(), 9, "jobs={jobs}");
+            for (i, o) in outcomes.iter().enumerate() {
+                if i == 3 {
+                    match o {
+                        CellOutcome::Panicked { msg } => {
+                            assert!(msg.contains("injected failure in cell 3"), "{msg}");
+                        }
+                        other => panic!("expected a captured panic, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(o.result(), Some(&(i * 10)), "jobs={jobs} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_reraises_after_all_jobs_finish() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(2, 6, |i| {
+                if i == 0 {
+                    panic!("first job dies");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        assert!(caught.is_err(), "the panic must still propagate");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            5,
+            "remaining jobs ran to completion before the re-raise"
+        );
+    }
+
+    #[test]
+    fn slow_jobs_are_flagged_not_killed() {
+        let outcomes = par_map_outcomes(
+            2,
+            2,
+            0.01,
+            |i| format!("#{i}"),
+            |i| {
+                if i == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                i
+            },
+        );
+        assert_eq!(outcomes[0].result(), Some(&0));
+        match &outcomes[1] {
+            CellOutcome::TimedOut { secs, result } => {
+                assert!(*secs >= 0.01);
+                assert_eq!(*result, 1, "the overdue job still completed");
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
     }
 
     #[test]

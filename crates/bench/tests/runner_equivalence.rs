@@ -120,6 +120,51 @@ fn real_cells_equivalent_across_jobs() {
     assert_jobs_equivalent(&specs, 1, 2);
 }
 
+/// A panicking cell no longer aborts the suite: a spec whose region setup
+/// fails (overlapping regions) comes back as `CellOutcome::Panicked` with
+/// the panic message, while every sibling cell still completes with its
+/// normal deterministic result.
+#[test]
+fn panicking_cell_does_not_abort_the_suite() {
+    std::env::set_var("CARREFOUR_QUIET", "1");
+    let machine = MachineSpec::test_machine();
+    let good = |name: &str| CellSpec {
+        machine: machine.clone(),
+        workload: Workload::Custom(small_spec(
+            &machine,
+            name.to_string(),
+            3,
+            AccessPattern::PrivateSlices,
+        )),
+        kind: PolicyKind::CarrefourLp,
+        seed: Some(5),
+        faults: None,
+        label: None,
+    };
+    let mut bad_spec = small_spec(&machine, "bad".to_string(), 3, AccessPattern::PrivateSlices);
+    // A second region at the same base: the overlap panics inside the
+    // cell (shares are rebalanced so that check fires, not the share sum).
+    bad_spec.regions[0].share = 0.5;
+    bad_spec.regions.push(bad_spec.regions[0].clone());
+    let mut bad = good("bad-cell");
+    bad.workload = Workload::Custom(bad_spec);
+    let specs = vec![good("good-0"), bad, good("good-2")];
+
+    for jobs in [1, 2] {
+        let progress = Progress::new("panic-isolated", specs.len());
+        let outcomes = runner::run_cells_outcomes(&specs, jobs, &progress, |_, _| {});
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].result().is_some(), "good cell 0 must complete");
+        assert!(outcomes[2].result().is_some(), "good cell 2 must complete");
+        match &outcomes[1] {
+            runner::CellOutcome::Panicked { msg } => {
+                assert!(msg.contains("overlapping regions"), "unexpected msg: {msg}");
+            }
+            _ => panic!("expected the bad cell to panic"),
+        }
+    }
+}
+
 /// `run_spec` and the classic `run_cell` agree on plain cells, so the
 /// dedup in `all_experiments` serves figure bins the exact rows their
 /// standalone binaries would have computed.

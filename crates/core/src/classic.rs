@@ -233,6 +233,32 @@ impl Carrefour {
     pub fn config(&self) -> &CarrefourConfig {
         &self.cfg
     }
+
+    /// Serializes the cross-epoch placement state for a `ckpt-v1`
+    /// snapshot. `cfg` is constructor-provided and not serialized.
+    pub(crate) fn save_into(&self, e: &mut codec::Enc) {
+        for w in self.rng.state() {
+            e.u64(w);
+        }
+        e.seq(self.interleaved.iter(), |e, &p| e.u64(p));
+        e.seq(self.placed_once.iter(), |e, &p| e.u64(p));
+        e.seq(self.node_seen.iter(), |e, (&p, &n)| {
+            e.u64(p);
+            e.u16(n);
+        });
+        e.seq(self.replicated.iter(), |e, &p| e.u64(p));
+    }
+
+    /// Restores state captured by [`Carrefour::save_into`] onto a
+    /// freshly-constructed instance with the same config.
+    pub(crate) fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let s = [d.u64(), d.u64(), d.u64(), d.u64()];
+        self.rng = SmallRng::from_state(s);
+        self.interleaved = d.seq(|d| d.u64()).into_iter().collect();
+        self.placed_once = d.seq(|d| d.u64()).into_iter().collect();
+        self.node_seen = d.seq(|d| (d.u64(), d.u16())).into_iter().collect();
+        self.replicated = d.seq(|d| d.u64()).into_iter().collect();
+    }
 }
 
 impl Default for Carrefour {
@@ -251,6 +277,18 @@ impl NumaPolicy for Carrefour {
             let empty = BTreeSet::new();
             self.placement_pass(ctx, &empty, &empty, &empty);
         }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut e = codec::Enc::new();
+        self.save_into(&mut e);
+        e.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut d = codec::Dec::new(bytes);
+        self.load_from(&mut d);
+        d.finish();
     }
 }
 

@@ -390,6 +390,32 @@ impl NumaPolicy for CarrefourLp {
             }
         }
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut e = codec::Enc::new();
+        self.carrefour.save_into(&mut e);
+        e.bool(self.split_pages);
+        e.seq(self.split_history.iter(), |e, &p| e.u64(p));
+        self.retry.save_into(&mut e);
+        self.split_breaker.save_into(&mut e);
+        self.move_breaker.save_into(&mut e);
+        e.u64(self.issued_moves);
+        e.u64(self.issued_splits);
+        e.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut d = codec::Dec::new(bytes);
+        self.carrefour.load_from(&mut d);
+        self.split_pages = d.bool();
+        self.split_history = d.seq(|d| d.u64()).into_iter().collect();
+        self.retry.load_from(&mut d);
+        self.split_breaker.load_from(&mut d);
+        self.move_breaker.load_from(&mut d);
+        self.issued_moves = d.u64();
+        self.issued_splits = d.u64();
+        d.finish();
+    }
 }
 
 #[cfg(test)]
@@ -742,6 +768,53 @@ mod tests {
             "breaker open, yet migrations were issued"
         );
         assert_eq!(lp.breaker_trips().1, 1);
+    }
+
+    #[test]
+    fn save_restore_preserves_retry_breaker_and_rng_state() {
+        use engine::{ActionError, FailedAction, NumaPolicy as _};
+        let machine = MachineSpec::machine_a();
+        let mut counters = quiet_counters();
+        counters.dram_local = 100;
+        counters.dram_remote = 900;
+        let samples = falsely_shared_samples();
+
+        // Epoch 0: split-and-scatter fires (split history, interleave sets,
+        // RNG draws). Epoch 1: a failure report populates the retry queue.
+        let mut lp = CarrefourLp::new();
+        let mut ctx = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+        lp.on_epoch(&mut ctx);
+        let failed = [FailedAction {
+            action: PolicyAction::Migrate(0x20_0000, NodeId(2)),
+            error: ActionError::Busy,
+        }];
+        let mut ctx = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+        ctx.epoch_index = 1;
+        ctx.set_failures(&failed);
+        lp.on_epoch(&mut ctx);
+
+        // Snapshot mid-scenario, restore onto a fresh instance, and drive
+        // both through identical further epochs: every queued action (retry
+        // re-issues, RNG-chosen interleave targets) must match.
+        let bytes = lp.save_state();
+        let mut restored = CarrefourLp::new();
+        restored.restore_state(&bytes);
+        assert_eq!(restored.split_flag(), lp.split_flag());
+        assert_eq!(restored.abandoned_actions(), lp.abandoned_actions());
+        assert_eq!(restored.breaker_trips(), lp.breaker_trips());
+        for epoch in 2..6u32 {
+            let mut ctx_a = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+            ctx_a.epoch_index = epoch;
+            lp.on_epoch(&mut ctx_a);
+            let mut ctx_b = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+            ctx_b.epoch_index = epoch;
+            restored.on_epoch(&mut ctx_b);
+            assert_eq!(
+                ctx_a.queued(),
+                ctx_b.queued(),
+                "restored policy diverged at epoch {epoch}"
+            );
+        }
     }
 
     #[test]

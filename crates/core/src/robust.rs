@@ -139,6 +139,36 @@ impl RetryQueue {
         }
         out
     }
+
+    /// Serializes the queue's mutable state for a `ckpt-v1` snapshot. Keys
+    /// are re-derived from the actions on load, so only the entries travel.
+    pub(crate) fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.pending.values(), |e, p| {
+            engine::checkpoint::enc_action(e, &p.action);
+            e.u32(p.attempts);
+            e.u32(p.due);
+            e.bool(p.in_flight);
+        });
+        e.u64(self.abandoned);
+    }
+
+    /// Restores state captured by [`RetryQueue::save_into`].
+    pub(crate) fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let entries = d.seq(|d| Pending {
+            action: engine::checkpoint::dec_action(d),
+            attempts: d.u32(),
+            due: d.u32(),
+            in_flight: d.bool(),
+        });
+        self.pending = entries
+            .into_iter()
+            .map(|p| {
+                let key = retry_key(&p.action).expect("queued actions are retryable");
+                (key, p)
+            })
+            .collect();
+        self.abandoned = d.u64();
+    }
 }
 
 /// A per-component circuit breaker.
@@ -183,6 +213,18 @@ impl CircuitBreaker {
     /// Whether the component is currently disabled.
     pub fn is_open(&self, epoch: u32) -> bool {
         self.open_until.is_some_and(|until| epoch < until)
+    }
+
+    /// Serializes the breaker's mutable state for a `ckpt-v1` snapshot.
+    pub(crate) fn save_into(&self, e: &mut codec::Enc) {
+        e.opt(&self.open_until, |e, &until| e.u32(until));
+        e.u64(self.trips);
+    }
+
+    /// Restores state captured by [`CircuitBreaker::save_into`].
+    pub(crate) fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.open_until = d.opt(|d| d.u32());
+        self.trips = d.u64();
     }
 }
 

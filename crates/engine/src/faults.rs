@@ -316,6 +316,64 @@ impl FaultPlan {
         false
     }
 
+    /// Serializes the plan's mutable state — RNG stream, pin table, epoch,
+    /// pressure reservation, and counters — for the `ckpt-v1` snapshot
+    /// (the config and `active` flag are constructor-fixed).
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        for w in self.rng.state() {
+            e.u64(w);
+        }
+        e.seq(self.pins.iter(), |e, (&vbase, &until)| {
+            e.u64(vbase);
+            e.u32(until);
+        });
+        e.u32(self.epoch);
+        e.seq(self.reserved.iter(), |e, &(frame, size)| {
+            e.u64(frame.0);
+            e.u8(match size {
+                PageSize::Size4K => 0,
+                PageSize::Size2M => 1,
+                PageSize::Size1G => 2,
+            });
+        });
+        e.bool(self.pressure_applied);
+        e.u64(self.counters.fallback_allocs);
+        e.u64(self.counters.busy_rejections);
+        e.u64(self.counters.dropped_samples);
+        e.u64(self.counters.misattributed_samples);
+        e.u64(self.counters.oom_reclaims);
+    }
+
+    /// Restores state captured by [`FaultPlan::save_into`] onto a plan
+    /// built from the same [`FaultConfig`].
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let s = [d.u64(), d.u64(), d.u64(), d.u64()];
+        self.rng = SmallRng::from_state(s);
+        self.pins.clear();
+        let n = d.usize();
+        for _ in 0..n {
+            let vbase = d.u64();
+            self.pins.insert(vbase, d.u32());
+        }
+        self.epoch = d.u32();
+        self.reserved = d.seq(|d| {
+            let frame = PhysAddr(d.u64());
+            let size = match d.u8() {
+                0 => PageSize::Size4K,
+                1 => PageSize::Size2M,
+                2 => PageSize::Size1G,
+                t => panic!("ckpt: invalid PageSize tag {t}"),
+            };
+            (frame, size)
+        });
+        self.pressure_applied = d.bool();
+        self.counters.fallback_allocs = d.u64();
+        self.counters.busy_rejections = d.u64();
+        self.counters.dropped_samples = d.u64();
+        self.counters.misattributed_samples = d.u64();
+        self.counters.oom_reclaims = d.u64();
+    }
+
     /// Applies sample loss and misattribution to one epoch's drained
     /// samples, in place.
     pub fn filter_samples(&mut self, samples: &mut Vec<IbsSample>, num_nodes: usize) {

@@ -33,6 +33,7 @@
 //! # let _ = &mut config;
 //! ```
 
+pub mod checkpoint;
 mod config;
 mod faults;
 mod policy;
@@ -40,6 +41,7 @@ mod result;
 mod sim;
 pub mod trace;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::SimConfig;
 pub use faults::{FaultConfig, FaultCounters, FaultPlan, FaultRates, MemoryPressure};
 pub use policy::{ActionError, EpochCtx, FailedAction, NullPolicy, NumaPolicy, PolicyAction};

@@ -222,6 +222,19 @@ pub trait NumaPolicy {
     fn consumes_samples(&self) -> bool {
         true
     }
+
+    /// Serializes the policy's mutable state for a `ckpt-v1` snapshot.
+    /// Stateless policies (the default) return an empty buffer; stateful
+    /// ones must capture everything [`NumaPolicy::restore_state`] needs to
+    /// make a freshly-constructed instance continue bit-identically.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`NumaPolicy::save_state`] onto a
+    /// freshly-constructed instance of the same policy. The default
+    /// ignores the bytes (stateless policies).
+    fn restore_state(&mut self, _bytes: &[u8]) {}
 }
 
 /// The do-nothing policy: plain Linux (whatever the initial THP switches

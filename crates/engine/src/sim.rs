@@ -1,5 +1,6 @@
 //! The simulation loop.
 
+use crate::checkpoint::{self, Checkpoint};
 use crate::config::SimConfig;
 use crate::faults::FaultPlan;
 use crate::policy::{ActionError, EpochCtx, FailedAction, NumaPolicy, PolicyAction};
@@ -18,6 +19,24 @@ use workloads::{WorkloadGen, WorkloadSpec};
 
 /// Runs complete workloads under a policy and produces [`SimResult`]s.
 pub struct Simulation;
+
+/// Where in its lifecycle a run starts and stops (internal driver mode;
+/// the public entry points each select one).
+enum RunMode<'c> {
+    /// Start to finish — the normal run.
+    Full,
+    /// Run until the boundary that closes epoch `epoch`, snapshot into
+    /// `out`, and stop. No [`SimResult`] is produced and the trace sink is
+    /// **not** finished — the caller threads the same sink through the
+    /// subsequent [`RunMode::Resume`] phase, whose events continue exactly
+    /// where this phase stopped.
+    CheckpointAt {
+        epoch: u32,
+        out: &'c mut Option<Checkpoint>,
+    },
+    /// Restore state from `ckpt` and run from its epoch to completion.
+    Resume { ckpt: &'c Checkpoint },
+}
 
 /// splitmix64 finalizer: a stride-proof mixing function for deterministic
 /// scatter decisions.
@@ -811,6 +830,106 @@ impl Simulation {
         setup: impl FnOnce(&mut AddressSpace),
         sink: Option<&mut dyn TraceSink>,
     ) -> SimResult {
+        Simulation::run_internal(machine, spec, config, policy, setup, sink, RunMode::Full)
+            .expect("a full run always produces a result")
+    }
+
+    /// Runs like [`Simulation::run`] until the epoch boundary that begins
+    /// epoch `epoch`, then snapshots into a [`Checkpoint`] and stops —
+    /// [`Simulation::resume`] continues from it bit-identically. Returns
+    /// `None` when the run completes before reaching `epoch` (the run then
+    /// executed in full; no snapshot exists).
+    pub fn checkpoint_at(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        epoch: u32,
+    ) -> Option<Checkpoint> {
+        Simulation::checkpoint_at_traced(machine, spec, config, policy, |_| {}, None, epoch)
+    }
+
+    /// [`Simulation::checkpoint_at`] with address-space `setup` and a trace
+    /// `sink`. When a checkpoint is taken the sink is **not** finished:
+    /// thread the same sink through [`Simulation::resume_traced`] and the
+    /// combined event stream (and digest) equals an uninterrupted traced
+    /// run's.
+    pub fn checkpoint_at_traced(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        setup: impl FnOnce(&mut AddressSpace),
+        sink: Option<&mut dyn TraceSink>,
+        epoch: u32,
+    ) -> Option<Checkpoint> {
+        let mut out = None;
+        Simulation::run_internal(
+            machine,
+            spec,
+            config,
+            policy,
+            setup,
+            sink,
+            RunMode::CheckpointAt {
+                epoch,
+                out: &mut out,
+            },
+        );
+        out
+    }
+
+    /// Continues a run from `ckpt` to completion. The checkpoint must come
+    /// from the same machine/spec/config (asserted via its fingerprint), and
+    /// `policy` must be a freshly constructed instance of the same policy —
+    /// its mutable state is restored via [`NumaPolicy::restore_state`]. The
+    /// result is bit-identical to an uninterrupted run's.
+    pub fn resume(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        ckpt: &Checkpoint,
+    ) -> SimResult {
+        Simulation::resume_traced(machine, spec, config, policy, |_| {}, None, ckpt)
+    }
+
+    /// [`Simulation::resume`] with `setup` and a trace `sink`; the events
+    /// emitted continue exactly where the checkpointing phase stopped.
+    pub fn resume_traced(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        setup: impl FnOnce(&mut AddressSpace),
+        sink: Option<&mut dyn TraceSink>,
+        ckpt: &Checkpoint,
+    ) -> SimResult {
+        Simulation::run_internal(
+            machine,
+            spec,
+            config,
+            policy,
+            setup,
+            sink,
+            RunMode::Resume { ckpt },
+        )
+        .expect("a resumed run always produces a result")
+    }
+
+    /// The single driver behind every public entry point; `mode` selects
+    /// where the run starts (fresh or from a snapshot) and whether it stops
+    /// early at a checkpoint boundary. Returns `None` exactly when a
+    /// requested checkpoint was taken.
+    fn run_internal(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        setup: impl FnOnce(&mut AddressSpace),
+        sink: Option<&mut dyn TraceSink>,
+        mut mode: RunMode<'_>,
+    ) -> Option<SimResult> {
         assert!(
             spec.threads <= machine.total_cores(),
             "workload wants {} threads, machine has {} cores",
@@ -867,22 +986,23 @@ impl Simulation {
         if !policy.consumes_samples() && !st.faults.is_active() {
             st.sampler.set_store(false);
         }
-        st.emit(|| TraceEvent::RunStart {
-            workload: spec.name.clone(),
-            policy: policy.name().to_string(),
-            machine: machine.name().to_string(),
-            seed: config.seed,
-        });
-        {
-            // Pins expire and pressure events apply at epoch boundaries;
-            // epoch 0 covers a pressure event scheduled before the run.
-            let SimState { faults, space, .. } = &mut st;
-            faults.begin_epoch(0, space);
-        }
-
         let total_rounds = gen.total_rounds();
         let think = u64::from(spec.think_cycles_per_op);
+
+        // Loop-carried run state, declared before the mode branch so a
+        // resume can overwrite all of it from the snapshot.
         let mut wall: u64 = 0;
+        let mut epoch_wall: u64 = 0;
+        let mut epoch_ops: u64 = 0;
+        let mut total_ops: u64 = 0;
+        let mut overhead_total: u64 = 0;
+        let mut epochs: Vec<EpochRecord> = Vec::new();
+        let mut epoch_index: u32 = 0;
+        // Failed actions of the previous epoch, fed back to the policy on
+        // fault-injected runs (never on fault-free runs, so a policy's
+        // retry machinery stays dormant and zero-fault behaviour is
+        // bit-identical to the pre-fault-layer engine).
+        let mut last_failures: Vec<FailedAction> = Vec::new();
 
         // Attribution ledger state. All of it stays empty (and costs one
         // branch per charge site) when attribution is off, which keeps the
@@ -896,38 +1016,99 @@ impl Simulation {
         let mut core_totals = vec![CycleBreakdown::default(); attrib_threads];
         let mut attrib_epochs: Vec<EpochAttribution> = Vec::new();
 
-        // Serial prelude: the loader thread's header touches run alone
-        // before the parallel phase (a program's sequential setup).
-        let mut prelude_cycles: u64 = 0;
-        for &vaddr in gen.prelude().to_vec().iter() {
-            let op = workloads::Op {
-                vaddr,
-                is_write: true,
-                coherent_store: false,
-                prefetched: false,
-            };
-            let bd = attrib_on.then_some(&mut prelude_bd);
-            prelude_cycles += st.run_op(0, op, 1, bd) + think;
-            if attrib_on {
-                prelude_bd.compute += think;
+        if let RunMode::Resume { ckpt } = &mode {
+            assert!(
+                ckpt.matches(machine, spec, config),
+                "checkpoint was taken under a different machine/spec/config"
+            );
+            restore_checkpoint(
+                ckpt,
+                policy,
+                &mut gen,
+                &mut st,
+                &mut wall,
+                &mut total_ops,
+                &mut overhead_total,
+                &mut epochs,
+                &mut last_failures,
+                attrib_on,
+                &mut prelude_bd,
+                &mut core_totals,
+                &mut attrib_epochs,
+            );
+            epoch_index = ckpt.epoch();
+            st.epoch = epoch_index;
+        } else {
+            st.emit(|| TraceEvent::RunStart {
+                workload: spec.name.clone(),
+                policy: policy.name().to_string(),
+                machine: machine.name().to_string(),
+                seed: config.seed,
+            });
+            {
+                // Pins expire and pressure events apply at epoch boundaries;
+                // epoch 0 covers a pressure event scheduled before the run.
+                let SimState { faults, space, .. } = &mut st;
+                faults.begin_epoch(0, space);
+            }
+
+            // Serial prelude: the loader thread's header touches run alone
+            // before the parallel phase (a program's sequential setup).
+            let mut prelude_cycles: u64 = 0;
+            for &vaddr in gen.prelude().to_vec().iter() {
+                let op = workloads::Op {
+                    vaddr,
+                    is_write: true,
+                    coherent_store: false,
+                    prefetched: false,
+                };
+                let bd = attrib_on.then_some(&mut prelude_bd);
+                prelude_cycles += st.run_op(0, op, 1, bd) + think;
+                if attrib_on {
+                    prelude_bd.compute += think;
+                }
+            }
+            wall += prelude_cycles;
+        }
+
+        // An epoch-0 checkpoint captures the state right here: prelude run,
+        // epoch 0 begun, no rounds executed.
+        if let RunMode::CheckpointAt { epoch, out } = &mut mode {
+            if epoch_index == *epoch {
+                **out = Some(capture_checkpoint(
+                    machine,
+                    spec,
+                    config,
+                    &*policy,
+                    &gen,
+                    &st,
+                    epoch_index,
+                    wall,
+                    total_ops,
+                    overhead_total,
+                    &epochs,
+                    &last_failures,
+                    attrib_on,
+                    &prelude_bd,
+                    &core_totals,
+                    &attrib_epochs,
+                ));
+                return None;
             }
         }
-        wall += prelude_cycles;
-        let mut epoch_wall: u64 = 0;
-        let mut epoch_ops: u64 = 0;
-        let mut total_ops: u64 = 0;
-        let mut overhead_total: u64 = 0;
-        let mut epochs: Vec<EpochRecord> = Vec::new();
-        let mut epoch_index: u32 = 0;
-        // Failed actions of the previous epoch, fed back to the policy on
-        // fault-injected runs (never on fault-free runs, so a policy's
-        // retry machinery stays dormant and zero-fault behaviour is
-        // bit-identical to the pre-fault-layer engine).
-        let mut last_failures: Vec<FailedAction> = Vec::new();
+
         // Reusable op buffer: one block of the access stream at a time.
         let mut block: Vec<workloads::Op> = Vec::new();
 
-        for round in 0..total_rounds {
+        // On a resume, epochs 0..epoch_index already ran before the
+        // snapshot: restart the loop at the restored epoch's first round.
+        // The `min` covers a checkpoint taken at the boundary after the
+        // final (possibly short) epoch — the loop body is then empty and
+        // only the finale runs, from restored state.
+        let start_round = (u64::from(epoch_index) * u64::from(config.rounds_per_epoch))
+            .min(u64::from(total_rounds)) as u32;
+
+        for round in start_round..total_rounds {
             let faulting = (0..spec.threads).filter(|&t| gen.in_alloc_phase(t)).count();
             // Threads interleave in small batches so first-touch races are
             // fair: within each batch cycle every thread advances equally.
@@ -1149,6 +1330,33 @@ impl Simulation {
                     )
                 });
             }
+
+            // The snapshot point: the boundary that closed `epoch_index - 1`
+            // and began `epoch_index`. Per-epoch accumulators are freshly
+            // reset here, which keeps the payload minimal.
+            if let RunMode::CheckpointAt { epoch, out } = &mut mode {
+                if epoch_index == *epoch {
+                    **out = Some(capture_checkpoint(
+                        machine,
+                        spec,
+                        config,
+                        &*policy,
+                        &gen,
+                        &st,
+                        epoch_index,
+                        wall,
+                        total_ops,
+                        overhead_total,
+                        &epochs,
+                        &last_failures,
+                        attrib_on,
+                        &prelude_bd,
+                        &core_totals,
+                        &attrib_epochs,
+                    ));
+                    return None;
+                }
+            }
         }
 
         // --- Whole-run aggregates. ---
@@ -1242,7 +1450,7 @@ impl Simulation {
             None
         };
 
-        SimResult {
+        Some(SimResult {
             workload: spec.name.clone(),
             policy: policy.name().to_string(),
             machine: machine.name().to_string(),
@@ -1253,14 +1461,149 @@ impl Simulation {
             pages,
             robustness: st.robust,
             attribution,
-        }
+        })
     }
+}
+
+/// Serializes everything a mid-stream resume needs, in `ckpt-v1` payload
+/// order. [`restore_checkpoint`] mirrors this exactly; any change to either
+/// must extend the schema descriptor in [`crate::checkpoint`].
+#[allow(clippy::too_many_arguments)]
+fn capture_checkpoint(
+    machine: &MachineSpec,
+    spec: &WorkloadSpec,
+    config: &SimConfig,
+    policy: &dyn NumaPolicy,
+    gen: &WorkloadGen,
+    st: &SimState<'_, '_>,
+    epoch_index: u32,
+    wall: u64,
+    total_ops: u64,
+    overhead_total: u64,
+    epochs: &[EpochRecord],
+    last_failures: &[FailedAction],
+    attrib_on: bool,
+    prelude_bd: &CycleBreakdown,
+    core_totals: &[CycleBreakdown],
+    attrib_epochs: &[EpochAttribution],
+) -> Checkpoint {
+    let mut e = codec::Enc::new();
+    gen.save_into(&mut e);
+    st.space.save_into(&mut e);
+    st.walk_cache.save_into(&mut e);
+    e.seq(st.tlbs.iter(), |e, t| t.save_into(e));
+    st.mem.save_into(&mut e);
+    st.sampler.save_into(&mut e);
+    e.bool(st.page_stats.is_some());
+    if let Some(ps) = &st.page_stats {
+        ps.save_into(&mut e);
+    }
+    st.faults.save_into(&mut e);
+    e.seq(st.fault_epoch.iter(), |e, &c| e.u64(c));
+    e.seq(st.fault_life.iter(), |e, &c| e.u64(c));
+    checkpoint::enc_robust(&mut e, &st.robust);
+    e.u64(wall);
+    e.u64(total_ops);
+    e.u64(overhead_total);
+    e.seq(epochs.iter(), checkpoint::enc_epoch_record);
+    e.seq(last_failures.iter(), checkpoint::enc_failed_action);
+    e.bool(attrib_on);
+    if attrib_on {
+        checkpoint::enc_breakdown(&mut e, prelude_bd);
+        e.seq(core_totals.iter(), checkpoint::enc_breakdown);
+        e.seq(attrib_epochs.iter(), checkpoint::enc_epoch_attribution);
+    }
+    e.bytes(&policy.save_state());
+    Checkpoint::new(
+        epoch_index,
+        checkpoint::config_fingerprint(machine, spec, config),
+        e.into_bytes(),
+    )
+}
+
+/// Overwrites freshly-constructed run state from a `ckpt-v1` payload, in
+/// the exact order [`capture_checkpoint`] wrote it. Constructor-fixed
+/// dimensions (thread counts, TLB count, attribution switch) are asserted,
+/// not restored — a fingerprint-matched checkpoint always agrees on them.
+#[allow(clippy::too_many_arguments)]
+fn restore_checkpoint(
+    ckpt: &Checkpoint,
+    policy: &mut dyn NumaPolicy,
+    gen: &mut WorkloadGen,
+    st: &mut SimState<'_, '_>,
+    wall: &mut u64,
+    total_ops: &mut u64,
+    overhead_total: &mut u64,
+    epochs: &mut Vec<EpochRecord>,
+    last_failures: &mut Vec<FailedAction>,
+    attrib_on: bool,
+    prelude_bd: &mut CycleBreakdown,
+    core_totals: &mut Vec<CycleBreakdown>,
+    attrib_epochs: &mut Vec<EpochAttribution>,
+) {
+    let mut d = codec::Dec::new(ckpt.payload());
+    gen.load_from(&mut d);
+    st.space.load_from(&mut d);
+    st.walk_cache.load_from(&mut d);
+    let n_tlbs = d.usize();
+    assert_eq!(n_tlbs, st.tlbs.len(), "checkpoint TLB count");
+    for t in &mut st.tlbs {
+        t.load_from(&mut d);
+    }
+    st.mem.load_from(&mut d);
+    st.sampler.load_from(&mut d);
+    let had_stats = d.bool();
+    assert_eq!(
+        had_stats,
+        st.page_stats.is_some(),
+        "checkpoint page-stat tracking does not match the config"
+    );
+    if let Some(ps) = &mut st.page_stats {
+        ps.load_from(&mut d);
+    }
+    st.faults.load_from(&mut d);
+    let fe = d.seq(|d| d.u64());
+    assert_eq!(
+        fe.len(),
+        st.fault_epoch.len(),
+        "checkpoint fault-epoch length"
+    );
+    st.fault_epoch = fe;
+    let fl = d.seq(|d| d.u64());
+    assert_eq!(
+        fl.len(),
+        st.fault_life.len(),
+        "checkpoint fault-life length"
+    );
+    st.fault_life = fl;
+    st.robust = checkpoint::dec_robust(&mut d);
+    *wall = d.u64();
+    *total_ops = d.u64();
+    *overhead_total = d.u64();
+    *epochs = d.seq(checkpoint::dec_epoch_record);
+    *last_failures = d.seq(checkpoint::dec_failed_action);
+    let saved_attrib = d.bool();
+    assert_eq!(
+        saved_attrib, attrib_on,
+        "checkpoint attribution switch does not match the config"
+    );
+    if attrib_on {
+        *prelude_bd = checkpoint::dec_breakdown(&mut d);
+        let ct = d.seq(checkpoint::dec_breakdown);
+        assert_eq!(ct.len(), core_totals.len(), "checkpoint core-total count");
+        *core_totals = ct;
+        *attrib_epochs = d.seq(checkpoint::dec_epoch_attribution);
+    }
+    let policy_bytes = d.bytes().to_vec();
+    d.finish();
+    policy.restore_state(&policy_bytes);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::policy::NullPolicy;
+    use crate::trace::DigestSink;
     use vmem::ThpControls;
     use workloads::{AccessPattern, RegionSpec};
 
@@ -1508,5 +1851,94 @@ mod tests {
         assert_eq!(r.epochs.len(), expected);
         let ops: u64 = r.epochs.iter().map(|e| e.counters.mem_ops).sum();
         assert_eq!(ops, r.lifetime.total_ops);
+    }
+
+    /// A config that exercises every serialized subsystem: THP (2 MiB page
+    /// tables, promotion), fault injection (RNG streams, pins, counters),
+    /// attribution (ledger state), and page-stat tracking.
+    fn ckpt_config() -> SimConfig {
+        let mut config = SimConfig::fast_test();
+        config.vmem.thp = ThpControls::thp();
+        config.faults = crate::FaultConfig::uniform(21, 0.5);
+        config.validate_each_epoch = true;
+        config.attribution = true;
+        config.track_page_stats = true;
+        config
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_at_every_epoch() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let config = ckpt_config();
+        let full = Simulation::run(&machine, &spec, &config, &mut NullPolicy);
+        let n_epochs = full.epochs.len() as u32;
+        for epoch in 0..=n_epochs {
+            let ckpt = Simulation::checkpoint_at(&machine, &spec, &config, &mut NullPolicy, epoch)
+                .unwrap_or_else(|| panic!("run has {n_epochs} epochs, none at {epoch}"));
+            assert_eq!(ckpt.epoch(), epoch);
+            // Round-trip the envelope too: resume from decoded bytes.
+            let ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).expect("envelope round-trip");
+            let resumed = Simulation::resume(&machine, &spec, &config, &mut NullPolicy, &ckpt);
+            assert_eq!(resumed, full, "resume from epoch {epoch} diverged");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_digest_matches_uninterrupted_trace() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let config = ckpt_config();
+        let mut whole = DigestSink::new();
+        let full = Simulation::run_traced(&machine, &spec, &config, &mut NullPolicy, &mut whole);
+        let whole = whole.into_digest();
+
+        // One sink threaded through both phases sees the same event stream.
+        let mut spliced = DigestSink::new();
+        let ckpt = Simulation::checkpoint_at_traced(
+            &machine,
+            &spec,
+            &config,
+            &mut NullPolicy,
+            |_| {},
+            Some(&mut spliced),
+            2,
+        )
+        .expect("epoch 2 exists");
+        let resumed = Simulation::resume_traced(
+            &machine,
+            &spec,
+            &config,
+            &mut NullPolicy,
+            |_| {},
+            Some(&mut spliced),
+            &ckpt,
+        );
+        let spliced = spliced.into_digest();
+        assert_eq!(resumed, full);
+        assert_eq!(spliced.diff(&whole), None, "spliced trace digest diverged");
+    }
+
+    #[test]
+    fn checkpoint_past_end_of_run_returns_none() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let config = ckpt_config();
+        assert!(
+            Simulation::checkpoint_at(&machine, &spec, &config, &mut NullPolicy, 999).is_none()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different machine/spec/config")]
+    fn resume_rejects_checkpoint_from_different_config() {
+        let machine = MachineSpec::test_machine();
+        let spec = tiny_spec(AccessPattern::PrivateSlices, 4);
+        let config = ckpt_config();
+        let ckpt = Simulation::checkpoint_at(&machine, &spec, &config, &mut NullPolicy, 1)
+            .expect("epoch 1 exists");
+        let mut other = config.clone();
+        other.seed ^= 1;
+        Simulation::resume(&machine, &spec, &other, &mut NullPolicy, &ckpt);
     }
 }

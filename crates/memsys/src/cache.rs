@@ -200,6 +200,28 @@ impl SetAssocCache {
         self.misses
     }
 
+    /// Serializes the tag arrays and counters (geometry fields are
+    /// constructor-fixed and rebuilt by the caller).
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.tags.iter(), |e, &t| e.u64(t));
+        e.seq(self.lens.iter(), |e, &l| e.u8(l));
+        e.u64(self.hits);
+        e.u64(self.misses);
+    }
+
+    /// Restores state captured by [`SetAssocCache::save_into`] onto a cache
+    /// built with the same geometry.
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let tags = d.seq(|d| d.u64());
+        assert_eq!(tags.len(), self.tags.len(), "checkpoint cache geometry");
+        self.tags = tags;
+        let lens = d.seq(|d| d.u8());
+        assert_eq!(lens.len(), self.lens.len(), "checkpoint cache geometry");
+        self.lens = lens;
+        self.hits = d.u64();
+        self.misses = d.u64();
+    }
+
     /// Lifetime hit ratio in `[0, 1]`; `0` before any access.
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;

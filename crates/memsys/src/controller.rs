@@ -79,6 +79,24 @@ impl MemoryController {
         self.epoch_requests = 0;
     }
 
+    /// Serializes the mutable controller state (request counters, smoothed
+    /// delay, last utilization); the service/queue parameters are
+    /// constructor-fixed.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.u64(self.epoch_requests);
+        e.u64(self.total_requests);
+        e.u32(self.current_delay);
+        e.f64(self.last_utilization);
+    }
+
+    /// Restores state captured by [`MemoryController::save_into`].
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.epoch_requests = d.u64();
+        self.total_requests = d.u64();
+        self.current_delay = d.u32();
+        self.last_utilization = d.f64();
+    }
+
     /// Requests serviced during the (still open) current epoch.
     #[inline]
     pub fn epoch_requests(&self) -> u64 {

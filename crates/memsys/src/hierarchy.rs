@@ -130,6 +130,25 @@ impl CacheHierarchy {
         self.l2.iter().map(|c| c.hits() + c.misses()).sum()
     }
 
+    /// Serializes every cache's tag state and counters.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        for level in [&self.l1, &self.l2, &self.l3] {
+            e.seq(level.iter(), |e, c| c.save_into(e));
+        }
+    }
+
+    /// Restores state captured by [`CacheHierarchy::save_into`] onto a
+    /// hierarchy built for the same machine and config.
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        for level in [&mut self.l1, &mut self.l2, &mut self.l3] {
+            let n = d.usize();
+            assert_eq!(n, level.len(), "checkpoint cache hierarchy shape");
+            for c in level.iter_mut() {
+                c.load_from(d);
+            }
+        }
+    }
+
     /// The L1 cache of one core (for inspection in tests and benches).
     pub fn l1_of(&self, core: CoreId) -> &SetAssocCache {
         &self.l1[core.index()]

@@ -99,6 +99,28 @@ impl LinkTraffic {
         }
     }
 
+    /// Serializes the per-link counters and congestion delays (the queue
+    /// parameters are constructor-fixed).
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.epoch_requests.iter(), |e, &v| e.u64(v));
+        e.seq(self.total_requests.iter(), |e, &v| e.u64(v));
+        e.seq(self.current_delay.iter(), |e, &v| e.u32(v));
+    }
+
+    /// Restores state captured by [`LinkTraffic::save_into`] onto traffic
+    /// state built for the same interconnect.
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let epoch = d.seq(|d| d.u64());
+        assert_eq!(
+            epoch.len(),
+            self.epoch_requests.len(),
+            "checkpoint link count"
+        );
+        self.epoch_requests = epoch;
+        self.total_requests = d.seq(|d| d.u64());
+        self.current_delay = d.seq(|d| d.u32());
+    }
+
     /// Lifetime request count of one link.
     #[inline]
     pub fn total_requests(&self, link: LinkId) -> u64 {

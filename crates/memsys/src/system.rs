@@ -436,6 +436,42 @@ impl MemorySystem {
             .collect()
     }
 
+    /// Serializes the full memory-system state for the `ckpt-v1` snapshot:
+    /// cache tags, controller counters/delays, link traffic, and the
+    /// epoch/lifetime counter pairs. The config, topology, and core→node
+    /// map are constructor-derived and rebuilt by the caller.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        self.hierarchy.save_into(e);
+        e.seq(self.controllers.iter(), |e, c| c.save_into(e));
+        self.links.save_into(e);
+        for s in [&self.epoch, &self.lifetime] {
+            e.u64(s.l2_accesses);
+            e.u64(s.l2_misses);
+            e.u64(s.l2_walk_misses);
+            e.u64(s.dram_local);
+            e.u64(s.dram_remote);
+        }
+    }
+
+    /// Restores state captured by [`MemorySystem::save_into`] onto a system
+    /// built for the same machine and config.
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.hierarchy.load_from(d);
+        let n = d.usize();
+        assert_eq!(n, self.controllers.len(), "checkpoint controller count");
+        for c in &mut self.controllers {
+            c.load_from(d);
+        }
+        self.links.load_from(d);
+        for s in [&mut self.epoch, &mut self.lifetime] {
+            s.l2_accesses = d.u64();
+            s.l2_misses = d.u64();
+            s.l2_walk_misses = d.u64();
+            s.dram_local = d.u64();
+            s.dram_remote = d.u64();
+        }
+    }
+
     /// The cache hierarchy (for inspection in tests and benches).
     #[inline]
     pub fn hierarchy(&self) -> &CacheHierarchy {

@@ -195,6 +195,58 @@ impl IbsSampler {
         (all, overhead)
     }
 
+    /// Serializes the sampler's mutable state — countdown, per-node stores,
+    /// lifetime/overhead counters, and the storage flag — for the `ckpt-v1`
+    /// snapshot (the config is constructor-fixed).
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.u64(self.countdown);
+        e.seq(self.stores.iter(), |e, store| {
+            e.seq(store.iter(), |e, s| {
+                e.u64(s.vaddr.0);
+                e.u16(s.accessing_node.0);
+                e.u16(s.thread);
+                e.u16(s.home_node.0);
+                e.bool(s.from_dram);
+                e.bool(s.is_store);
+                e.u8(match s.page_size {
+                    PageSize::Size4K => 0,
+                    PageSize::Size2M => 1,
+                    PageSize::Size1G => 2,
+                });
+            });
+        });
+        e.u64(self.taken);
+        e.u64(self.overhead_cycles);
+        e.bool(self.store);
+    }
+
+    /// Restores state captured by [`IbsSampler::save_into`] onto a sampler
+    /// built for the same machine and config.
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.countdown = d.u64();
+        let n = d.usize();
+        assert_eq!(n, self.stores.len(), "checkpoint sampler node count");
+        for store in &mut self.stores {
+            *store = d.seq(|d| IbsSample {
+                vaddr: VirtAddr(d.u64()),
+                accessing_node: NodeId(d.u16()),
+                thread: d.u16(),
+                home_node: NodeId(d.u16()),
+                from_dram: d.bool(),
+                is_store: d.bool(),
+                page_size: match d.u8() {
+                    0 => PageSize::Size4K,
+                    1 => PageSize::Size2M,
+                    2 => PageSize::Size1G,
+                    t => panic!("ckpt: invalid PageSize tag {t}"),
+                },
+            });
+        }
+        self.taken = d.u64();
+        self.overhead_cycles = d.u64();
+        self.store = d.bool();
+    }
+
     /// Samples taken over the sampler's lifetime.
     #[inline]
     pub fn total_taken(&self) -> u64 {

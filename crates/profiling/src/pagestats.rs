@@ -86,6 +86,37 @@ impl PageAccessStats {
         self.cells.clear();
         self.total = 0;
     }
+
+    /// Serializes the cells (in sorted key order — the hash map's bucket
+    /// order is not canonical) and the total, for the `ckpt-v1` snapshot.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        let mut keys: Vec<u64> = self.cells.keys().copied().collect();
+        keys.sort_unstable();
+        e.seq(keys.into_iter(), |e, k| {
+            let cell = &self.cells[&k];
+            e.u64(k);
+            e.u64(cell.count);
+            e.u64(cell.threads);
+        });
+        e.u64(self.total);
+    }
+
+    /// Restores state captured by [`PageAccessStats::save_into`].
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.cells.clear();
+        let n = d.usize();
+        for _ in 0..n {
+            let k = d.u64();
+            self.cells.insert(
+                k,
+                PageCell {
+                    count: d.u64(),
+                    threads: d.u64(),
+                },
+            );
+        }
+        self.total = d.u64();
+    }
 }
 
 #[cfg(test)]

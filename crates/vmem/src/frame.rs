@@ -224,6 +224,39 @@ impl FrameAllocator {
         blocks
     }
 
+    /// Serializes the mutable allocator state (free lists and byte
+    /// counters) for the `ckpt-v1` snapshot. The node layout (`stride`,
+    /// per-node totals) is rebuilt from the machine spec by the caller.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.nodes.iter(), |e, n| {
+            e.seq(n.free.iter(), |e, list| {
+                e.seq(list.iter(), |e, &addr| e.u64(addr));
+            });
+            e.u64(n.free_bytes);
+            e.u64(n.total_bytes);
+        });
+    }
+
+    /// Restores state captured by [`FrameAllocator::save_into`] onto an
+    /// allocator freshly built for the same machine.
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let n = d.usize();
+        assert_eq!(n, self.nodes.len(), "checkpoint node count mismatch");
+        for node in &mut self.nodes {
+            let orders = d.usize();
+            assert_eq!(orders, node.free.len(), "checkpoint buddy order mismatch");
+            for list in &mut node.free {
+                list.clear();
+                let k = d.usize();
+                for _ in 0..k {
+                    list.insert(d.u64());
+                }
+            }
+            node.free_bytes = d.u64();
+            node.total_bytes = d.u64();
+        }
+    }
+
     /// Checks the buddy system's own invariants: every free block is
     /// naturally aligned, inside its node's range, disjoint from every
     /// other free block, and the per-node free-byte counters match the

@@ -128,6 +128,37 @@ impl ReplicaTable {
         self.pages.len()
     }
 
+    /// Serializes the replica table for the `ckpt-v1` snapshot
+    /// (BTreeMaps iterate in sorted order, so the bytes are canonical).
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.pages.iter(), |e, (&vbase, set)| {
+            e.u64(vbase);
+            e.seq(set.frames.iter(), |e, (&n, &f)| {
+                e.u16(n);
+                e.u64(f.0);
+            });
+        });
+        e.u64(self.created);
+        e.u64(self.collapsed);
+    }
+
+    /// Restores state captured by [`ReplicaTable::save_into`].
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.pages = d
+            .seq(|d| {
+                let vbase = d.u64();
+                let frames = d
+                    .seq(|d| (d.u16(), PhysAddr(d.u64())))
+                    .into_iter()
+                    .collect();
+                (vbase, ReplicaSet { frames })
+            })
+            .into_iter()
+            .collect();
+        self.created = d.u64();
+        self.collapsed = d.u64();
+    }
+
     /// Visits every replica frame as `(page vbase, node, frame)` (exposed
     /// for the invariant walker — replica frames are live allocations that
     /// the page table does not know about).

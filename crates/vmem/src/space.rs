@@ -664,6 +664,63 @@ impl AddressSpace {
         self.frames.free(frame, size);
     }
 
+    /// Serializes the full address-space state for the `ckpt-v1` snapshot:
+    /// frame allocator free lists, the page-table arena, registered
+    /// regions, the (runtime-mutable) THP switches, lifetime stats, the
+    /// khugepaged cursor and inhibitions, and the replica table.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        self.frames.save_into(e);
+        self.table.save_into(e);
+        e.seq(self.regions.iter(), |e, r| {
+            e.u64(r.base);
+            e.u64(r.len);
+        });
+        e.bool(self.thp.alloc_2m);
+        e.bool(self.thp.promote_2m);
+        e.bool(self.thp.alloc_1g);
+        e.u64(self.stats.faults_4k);
+        e.u64(self.stats.faults_2m);
+        e.u64(self.stats.faults_1g);
+        e.u64(self.stats.migrations_4k);
+        e.u64(self.stats.migrations_2m);
+        e.u64(self.stats.splits);
+        e.u64(self.stats.collapses);
+        e.u64(self.stats.replications);
+        e.u64(self.stats.replica_collapses);
+        e.u64(self.stats.bytes_copied);
+        e.u64(self.scan_cursor);
+        e.seq(self.no_promote.iter(), |e, &b| e.u64(b));
+        self.replicas.save_into(e);
+    }
+
+    /// Restores state captured by [`AddressSpace::save_into`] onto a space
+    /// freshly built for the same machine and config (`costs` and
+    /// `total_cores` are constructor-derived and not in the snapshot).
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.frames.load_from(d);
+        self.table.load_from(d);
+        self.regions = d.seq(|d| Region {
+            base: d.u64(),
+            len: d.u64(),
+        });
+        self.thp.alloc_2m = d.bool();
+        self.thp.promote_2m = d.bool();
+        self.thp.alloc_1g = d.bool();
+        self.stats.faults_4k = d.u64();
+        self.stats.faults_2m = d.u64();
+        self.stats.faults_1g = d.u64();
+        self.stats.migrations_4k = d.u64();
+        self.stats.migrations_2m = d.u64();
+        self.stats.splits = d.u64();
+        self.stats.collapses = d.u64();
+        self.stats.replications = d.u64();
+        self.stats.replica_collapses = d.u64();
+        self.stats.bytes_copied = d.u64();
+        self.scan_cursor = d.u64();
+        self.no_promote = d.seq(|d| d.u64()).into_iter().collect();
+        self.replicas.load_from(d);
+    }
+
     /// Walks every structural invariant tying the page table, the replica
     /// table, and the frame allocator together:
     ///

@@ -300,6 +300,120 @@ impl WalkCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Serializes the cache for the `ckpt-v1` snapshot. Entries are written
+    /// in sorted key order: the backing map's iteration order is not
+    /// canonical, and checkpoint bytes must be deterministic.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.u64(self.generation);
+        let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        e.seq(keys.into_iter(), |e, k| {
+            e.u64(k);
+            match self.entries[&k] {
+                CacheEntry::Huge {
+                    steps,
+                    len,
+                    mapping,
+                } => {
+                    e.u8(0);
+                    e.usize(len);
+                    for s in &steps {
+                        enc_step(e, s);
+                    }
+                    enc_mapping(e, &mapping);
+                }
+                CacheEntry::Pt { steps, table } => {
+                    e.u8(1);
+                    for s in &steps {
+                        enc_step(e, s);
+                    }
+                    e.u32(table);
+                }
+            }
+        });
+        e.u64(self.hits);
+        e.u64(self.misses);
+        e.u64(self.invalidations);
+    }
+
+    /// Restores state captured by [`WalkCache::save_into`].
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.generation = d.u64();
+        self.entries.clear();
+        let n = d.usize();
+        for _ in 0..n {
+            let k = d.u64();
+            let entry = match d.u8() {
+                0 => {
+                    let len = d.usize();
+                    CacheEntry::Huge {
+                        steps: [dec_step(d), dec_step(d), dec_step(d), dec_step(d)],
+                        len,
+                        mapping: dec_mapping(d),
+                    }
+                }
+                1 => CacheEntry::Pt {
+                    steps: [dec_step(d), dec_step(d), dec_step(d)],
+                    table: d.u32(),
+                },
+                t => panic!("ckpt: invalid walk-cache entry tag {t}"),
+            };
+            self.entries.insert(k, entry);
+        }
+        self.hits = d.u64();
+        self.misses = d.u64();
+        self.invalidations = d.u64();
+    }
+}
+
+/// Writes a [`PageSize`] as a one-byte tag (checkpoint codec).
+pub(crate) fn enc_page_size(e: &mut codec::Enc, s: PageSize) {
+    e.u8(match s {
+        PageSize::Size4K => 0,
+        PageSize::Size2M => 1,
+        PageSize::Size1G => 2,
+    });
+}
+
+/// Reads a [`PageSize`] tag written by [`enc_page_size`].
+pub(crate) fn dec_page_size(d: &mut codec::Dec<'_>) -> PageSize {
+    match d.u8() {
+        0 => PageSize::Size4K,
+        1 => PageSize::Size2M,
+        2 => PageSize::Size1G,
+        t => panic!("ckpt: invalid PageSize tag {t}"),
+    }
+}
+
+/// Writes a [`Mapping`] (checkpoint codec, shared with the TLB module).
+pub(crate) fn enc_mapping(e: &mut codec::Enc, m: &Mapping) {
+    e.u64(m.vbase.0);
+    e.u64(m.frame.0);
+    e.u16(m.node.0);
+    enc_page_size(e, m.size);
+}
+
+/// Reads a [`Mapping`] written by [`enc_mapping`].
+pub(crate) fn dec_mapping(d: &mut codec::Dec<'_>) -> Mapping {
+    Mapping {
+        vbase: VirtAddr(d.u64()),
+        frame: PhysAddr(d.u64()),
+        node: NodeId(d.u16()),
+        size: dec_page_size(d),
+    }
+}
+
+fn enc_step(e: &mut codec::Enc, s: &WalkStep) {
+    e.u64(s.pte_addr.0);
+    e.u16(s.node.0);
+}
+
+fn dec_step(d: &mut codec::Dec<'_>) -> WalkStep {
+    WalkStep {
+        pte_addr: PhysAddr(d.u64()),
+        node: NodeId(d.u16()),
+    }
 }
 
 /// Index of the root (PML4) node in the arena.
@@ -743,6 +857,60 @@ impl PageTable {
         let mut v = Vec::new();
         self.for_each_leaf(|m| v.push(*m));
         v
+    }
+
+    /// Serializes the whole arena verbatim — including slots abandoned by
+    /// collapse — so arena indices held by [`WalkCache`] entries (and the
+    /// deterministic index assignment of future splits) survive a resume.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.arena.iter(), |e, t| {
+            e.u64(t.base.0);
+            e.u16(t.node.0);
+            e.seq(t.entries.iter(), |e, (&idx, entry)| {
+                e.u16(idx);
+                match entry {
+                    Entry::Table(next) => {
+                        e.u8(0);
+                        e.u32(*next);
+                    }
+                    Entry::Leaf(m) => {
+                        e.u8(1);
+                        enc_mapping(e, m);
+                    }
+                }
+            });
+        });
+        e.u64(self.table_bytes);
+        e.u64(self.generation);
+    }
+
+    /// Restores state captured by [`PageTable::save_into`], replacing this
+    /// table's structure entirely (the root frame address comes from the
+    /// snapshot, not from this instance's constructor).
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.arena = d.seq(|d| {
+            let base = PhysAddr(d.u64());
+            let node = NodeId(d.u16());
+            let entries = d
+                .seq(|d| {
+                    let idx = d.u16();
+                    let entry = match d.u8() {
+                        0 => Entry::Table(d.u32()),
+                        1 => Entry::Leaf(dec_mapping(d)),
+                        t => panic!("ckpt: invalid page-table entry tag {t}"),
+                    };
+                    (idx, entry)
+                })
+                .into_iter()
+                .collect();
+            TableNode {
+                base,
+                node,
+                entries,
+            }
+        });
+        self.table_bytes = d.u64();
+        self.generation = d.u64();
     }
 
     /// Physical frames of every table node *reachable from the root*, with

@@ -157,6 +157,27 @@ impl SubTlb {
             s.vals.clear();
         }
     }
+
+    /// Serializes the set contents (MRU-first order preserved); geometry
+    /// (`ways`, `set_mask`) is rebuilt from the config by the caller.
+    fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.sets.iter(), |e, s| {
+            e.seq(s.keys.iter(), |e, &k| e.u64(k));
+            e.seq(s.vals.iter(), crate::table::enc_mapping);
+        });
+    }
+
+    /// Restores state captured by [`SubTlb::save_into`] onto a sub-TLB
+    /// built with the same geometry.
+    fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let n = d.usize();
+        assert_eq!(n, self.sets.len(), "checkpoint TLB set count mismatch");
+        for s in &mut self.sets {
+            s.keys = d.seq(|d| d.u64());
+            s.vals = d.seq(crate::table::dec_mapping);
+            assert_eq!(s.keys.len(), s.vals.len(), "checkpoint TLB set torn");
+        }
+    }
 }
 
 /// Lifetime TLB statistics.
@@ -293,6 +314,30 @@ impl Tlb {
     #[inline]
     pub fn stats(&self) -> &TlbStats {
         &self.stats
+    }
+
+    /// Serializes the full TLB state (entries in recency order plus
+    /// lifetime stats) for the `ckpt-v1` snapshot.
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        self.l1_4k.save_into(e);
+        self.l1_2m.save_into(e);
+        self.l1_1g.save_into(e);
+        self.l2.save_into(e);
+        e.u64(self.stats.l1_hits);
+        e.u64(self.stats.l2_hits);
+        e.u64(self.stats.misses);
+    }
+
+    /// Restores state captured by [`Tlb::save_into`] onto a TLB built with
+    /// the same [`TlbConfig`].
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        self.l1_4k.load_from(d);
+        self.l1_2m.load_from(d);
+        self.l1_1g.load_from(d);
+        self.l2.load_from(d);
+        self.stats.l1_hits = d.u64();
+        self.stats.l2_hits = d.u64();
+        self.stats.misses = d.u64();
     }
 }
 

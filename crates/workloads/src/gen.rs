@@ -300,6 +300,42 @@ impl WorkloadGen {
         }
     }
 
+    /// Serializes the per-thread mutable state — RNG streams, allocation
+    /// cursors, stream cursors, and issued-op counters — for the `ckpt-v1`
+    /// snapshot. Everything else (allocation lists, prelude, share tables)
+    /// is deterministic in `(spec, seed)` and rebuilt by
+    /// [`WorkloadGen::new`].
+    pub fn save_into(&self, e: &mut codec::Enc) {
+        e.seq(self.threads.iter(), |e, st| {
+            for w in st.rng.state() {
+                e.u64(w);
+            }
+            e.usize(st.alloc_pos);
+            e.seq(st.stream_cursors.iter(), |e, &c| e.u64(c));
+            e.u64(st.ops_issued);
+        });
+    }
+
+    /// Restores state captured by [`WorkloadGen::save_into`] onto a
+    /// generator built from the same `(spec, seed)`.
+    pub fn load_from(&mut self, d: &mut codec::Dec<'_>) {
+        let n = d.usize();
+        assert_eq!(n, self.threads.len(), "checkpoint workload thread count");
+        for st in &mut self.threads {
+            let s = [d.u64(), d.u64(), d.u64(), d.u64()];
+            st.rng = SmallRng::from_state(s);
+            st.alloc_pos = d.usize();
+            let cursors = d.seq(|d| d.u64());
+            assert_eq!(
+                cursors.len(),
+                st.stream_cursors.len(),
+                "checkpoint stream cursor count"
+            );
+            st.stream_cursors = cursors;
+            st.ops_issued = d.u64();
+        }
+    }
+
     /// One compute-phase op of `thread` under the region shares of `phase`
     /// (the shared tail of [`WorkloadGen::next_op`] and
     /// [`WorkloadGen::next_block`]).

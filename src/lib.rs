@@ -32,11 +32,11 @@ pub mod prelude {
 
     pub use carrefour::{Carrefour, CarrefourConfig, CarrefourLp, LpThresholds, RobustnessConfig};
     pub use engine::{
-        ActionError, CountingSink, DigestSink, EpochCtx, EpochDigest, EpochRecord, EpochSnap,
-        EventKind, FailedAction, FaultConfig, FaultRates, JsonlSink, LifetimeStats, MemoryPressure,
-        NullPolicy, NumaPolicy, PageMetrics, PolicyAction, PolicyDecision, RingSink,
-        RobustnessStats, SimConfig, SimResult, Simulation, TeeSink, TraceDigest, TraceEvent,
-        TraceSink, VecSink,
+        ActionError, Checkpoint, CheckpointError, CountingSink, DigestSink, EpochCtx, EpochDigest,
+        EpochRecord, EpochSnap, EventKind, FailedAction, FaultConfig, FaultRates, JsonlSink,
+        LifetimeStats, MemoryPressure, NullPolicy, NumaPolicy, PageMetrics, PolicyAction,
+        PolicyDecision, RingSink, RobustnessStats, SimConfig, SimResult, Simulation, TeeSink,
+        TraceDigest, TraceEvent, TraceSink, VecSink,
     };
     pub use numa_topology::{CoreId, MachineSpec, NodeId, NodeSpec};
     pub use profiling::{IbsConfig, IbsSample, IbsSampler};

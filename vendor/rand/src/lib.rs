@@ -193,6 +193,19 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Returns the raw xoshiro256++ state, for checkpointing. Restoring
+        /// it with [`SmallRng::from_state`] continues the stream exactly.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured by [`SmallRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
