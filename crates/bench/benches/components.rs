@@ -86,6 +86,7 @@ fn sample_set(n: usize) -> Vec<IbsSample> {
             } else {
                 PageSize::Size4K
             },
+            walk_remote_steps: 0,
         })
         .collect()
 }

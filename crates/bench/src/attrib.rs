@@ -22,7 +22,7 @@ pub const SCHEMA: &str = "attrib-v1";
 /// One cause *group* of the narrative: a named, disjoint union of ledger
 /// buckets. Groups exist because a human diagnosis speaks in architectural
 /// causes ("page walks got cheaper") rather than individual buckets
-/// (`walk_pwc_hit` vs `walk_pwc_miss`).
+/// (`walk_pwc_hit_local` vs `walk_pwc_miss_remote`).
 #[derive(Clone, Copy, Debug)]
 pub struct CauseGroup {
     /// Display name.
@@ -56,9 +56,13 @@ pub fn cause_groups(base: &CycleBreakdown, cand: &CycleBreakdown) -> Vec<CauseGr
         g("DRAM service", |b| b.dram_service),
         g("controller queueing", |b| b.ctrl_queue),
         g("interconnect hops", |b| b.interconnect),
-        g("TLB lookup + page walk", |b| {
-            b.tlb_lookup + b.walk_pwc_hit + b.walk_pwc_miss
+        // Local and remote walk cycles are separate causes: table-placement
+        // policies (mitosis, numapte) act on the remote share only, and
+        // the figPT acceptance check reads this group's delta directly.
+        g("TLB lookup + local page walk", |b| {
+            b.tlb_lookup + b.walk_local_cycles()
         }),
+        g("remote page walks", |b| b.walk_remote_cycles()),
         g("page faults", |b| b.fault + b.replica_collapse),
         g("policy + daemon overhead", |b| {
             b.khugepaged
@@ -386,7 +390,7 @@ mod tests {
 
     fn breakdown(walk: u64, queue: u64, dram: u64) -> CycleBreakdown {
         let mut b = CycleBreakdown::default();
-        b.walk_pwc_miss = walk;
+        b.walk_pwc_miss_local = walk;
         b.ctrl_queue = queue;
         b.dram_service = dram;
         b.compute = 1000;
@@ -409,15 +413,17 @@ mod tests {
                 5 => a.dram_service = field,
                 6 => a.ctrl_queue = field,
                 7 => a.interconnect = field,
-                8 => a.walk_pwc_hit = field,
-                9 => a.walk_pwc_miss = field,
-                10 => a.fault = field,
-                11 => a.replica_collapse = field,
-                12 => a.khugepaged = field,
-                13 => a.ibs_sampling = field,
-                14 => a.policy_migration = field,
-                15 => a.policy_split = field,
-                16 => a.policy_replication = field,
+                8 => a.walk_pwc_hit_local = field,
+                9 => a.walk_pwc_hit_remote = field,
+                10 => a.walk_pwc_miss_local = field,
+                11 => a.walk_pwc_miss_remote = field,
+                12 => a.fault = field,
+                13 => a.replica_collapse = field,
+                14 => a.khugepaged = field,
+                15 => a.ibs_sampling = field,
+                16 => a.policy_migration = field,
+                17 => a.policy_split = field,
+                18 => a.policy_replication = field,
                 _ => unreachable!("new bucket not covered by cause groups"),
             }
         }
@@ -441,7 +447,7 @@ mod tests {
         let n = narrative(&base, &cand);
         assert!(n.contains("THP is 13.6% slower than Linux"), "{n}");
         assert!(
-            n.contains("THP saves 3,500 TLB lookup + page walk cycles"),
+            n.contains("THP saves 3,500 TLB lookup + local page walk cycles"),
             "{n}"
         );
         assert!(
@@ -458,7 +464,7 @@ mod tests {
         let n2 = narrative(&base, &cand2);
         assert!(n2.contains("faster"), "{n2}");
         assert!(
-            n2.contains("dominant cause: TLB lookup + page walk reduction"),
+            n2.contains("dominant cause: TLB lookup + local page walk reduction"),
             "{n2}"
         );
     }

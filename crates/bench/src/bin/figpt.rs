@@ -1,0 +1,7 @@
+//! Figure PT: page-table placement (Mitosis replication, numaPTE
+//! migration) against Linux and THP, with the remote-walk cycle share
+//! when `CARREFOUR_ATTRIB=1`. See DESIGN.md §13.
+
+fn main() {
+    carrefour_bench::experiments::run_standalone("figPT");
+}

@@ -84,6 +84,11 @@ pub fn all() -> Vec<Experiment> {
             specs: verylarge_specs(),
             render: verylarge_render,
         },
+        Experiment {
+            name: "figPT",
+            specs: fig_pt_specs(),
+            render: fig_pt_render,
+        },
     ]
 }
 
@@ -560,6 +565,71 @@ fn verylarge_render(cells: &[Cell]) {
         );
     }
     save_json("verylarge", cells);
+}
+
+// --------------------------------------------------------------- figPT
+
+const FIG_PT_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Linux4k,
+    PolicyKind::LinuxThp,
+    PolicyKind::Mitosis,
+    PolicyKind::NumaPte,
+];
+
+fn fig_pt_specs() -> Vec<CellSpec> {
+    both_machines(Benchmark::numa_affected(), &FIG_PT_POLICIES)
+}
+
+/// Page-table placement (DESIGN.md §13): runtime improvement over Linux
+/// plus where walk cycles go. The walk columns need the attribution
+/// ledger (`CARREFOUR_ATTRIB=1`); without it they print as `-`, the
+/// runtime columns are unaffected.
+fn fig_pt_render(cells: &[Cell]) {
+    for machine in machines() {
+        println!(
+            "== Figure PT ({}) : page-table placement, improvement over Linux ==",
+            machine.name()
+        );
+        println!(
+            "{:<16} {:>8} {:>9} {:>9} | {:>11} {:>11} {:>11}",
+            "bench", "THP", "Mitosis", "numaPTE", "rw% Linux", "rw% Mitosis", "rw% numaPTE"
+        );
+        let cells = on_machine(cells, &machine);
+        for &b in Benchmark::numa_affected() {
+            let thp = improvement(&cells, b, PolicyKind::LinuxThp, PolicyKind::Linux4k);
+            let mit = improvement(&cells, b, PolicyKind::Mitosis, PolicyKind::Linux4k);
+            let pte = improvement(&cells, b, PolicyKind::NumaPte, PolicyKind::Linux4k);
+            let rw = |k: PolicyKind| -> String {
+                let r = &find(&cells, b, k).result;
+                match &r.attribution {
+                    Some(a) => {
+                        let walk = a.total.walk_cycles();
+                        if walk == 0 {
+                            "0.0".to_string()
+                        } else {
+                            format!(
+                                "{:.1}",
+                                a.total.walk_remote_cycles() as f64 * 100.0 / walk as f64
+                            )
+                        }
+                    }
+                    None => "-".to_string(),
+                }
+            };
+            println!(
+                "{:<16} {:>8.1} {:>9.1} {:>9.1} | {:>11} {:>11} {:>11}",
+                b.name(),
+                thp,
+                mit,
+                pte,
+                rw(PolicyKind::Linux4k),
+                rw(PolicyKind::Mitosis),
+                rw(PolicyKind::NumaPte),
+            );
+        }
+        save_json(&format!("figPT_{}", machine.name()), &cells);
+        println!();
+    }
 }
 
 #[cfg(test)]

@@ -11,8 +11,10 @@
 //! The cell set is small on purpose: the two benchmarks the paper's
 //! Figure 2 narrative revolves around (UA.B, CG.D) under the baseline
 //! policies and full Carrefour-LP, on machine A, pinned to the default
-//! seed. Six cells cover the fault path, khugepaged, the TLB, both
-//! Algorithm 1 components, and the Carrefour placement pass.
+//! seed, plus the two page-table placement policies (Mitosis, numaPTE).
+//! Ten cells cover the fault path, khugepaged, the TLB, both
+//! Algorithm 1 components, the Carrefour placement pass, table
+//! replication with write fan-out, and sampled table migration.
 //!
 //! Workflow:
 //! * `cargo test -q` (tier-1) recomputes and diffs every cell.
@@ -37,7 +39,7 @@ pub struct GoldenCell {
 
 /// The pinned cell set. Order is the order digests are computed and
 /// reported in.
-pub const GOLDEN_CELLS: [GoldenCell; 6] = [
+pub const GOLDEN_CELLS: [GoldenCell; 10] = [
     GoldenCell {
         bench: Benchmark::UaB,
         kind: PolicyKind::Linux4k,
@@ -61,6 +63,22 @@ pub const GOLDEN_CELLS: [GoldenCell; 6] = [
     GoldenCell {
         bench: Benchmark::CgD,
         kind: PolicyKind::CarrefourLp,
+    },
+    GoldenCell {
+        bench: Benchmark::UaB,
+        kind: PolicyKind::Mitosis,
+    },
+    GoldenCell {
+        bench: Benchmark::UaB,
+        kind: PolicyKind::NumaPte,
+    },
+    GoldenCell {
+        bench: Benchmark::CgD,
+        kind: PolicyKind::Mitosis,
+    },
+    GoldenCell {
+        bench: Benchmark::CgD,
+        kind: PolicyKind::NumaPte,
     },
 ];
 

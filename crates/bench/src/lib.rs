@@ -6,7 +6,7 @@
 //! also written as JSON under `results/` so EXPERIMENTS.md can be
 //! regenerated mechanically.
 
-use carrefour::{Carrefour, CarrefourLp};
+use carrefour::{Carrefour, CarrefourLp, Mitosis, NumaPte};
 use engine::{NullPolicy, NumaPolicy, SimConfig, SimResult, Simulation};
 use numa_topology::MachineSpec;
 use serde::{Deserialize, Serialize};
@@ -50,15 +50,22 @@ pub enum PolicyKind {
     Linux1g,
     /// Carrefour-LP starting from 1 GiB pages (Section 4.4).
     CarrefourLp1g,
+    /// Mitosis-style full page-table replication on 4 KiB pages
+    /// (Section 13: NUMA-homed page tables).
+    Mitosis,
+    /// numaPTE-style lazy page-table migration on 4 KiB pages.
+    NumaPte,
 }
 
 impl PolicyKind {
     /// The THP switches the simulation starts with under this policy.
     pub fn initial_thp(self) -> ThpControls {
         match self {
-            PolicyKind::Linux4k | PolicyKind::Carrefour4k | PolicyKind::ConservativeOnly => {
-                ThpControls::small_only()
-            }
+            PolicyKind::Linux4k
+            | PolicyKind::Carrefour4k
+            | PolicyKind::ConservativeOnly
+            | PolicyKind::Mitosis
+            | PolicyKind::NumaPte => ThpControls::small_only(),
             PolicyKind::LinuxThp
             | PolicyKind::Carrefour2m
             | PolicyKind::ReactiveOnly
@@ -79,11 +86,13 @@ impl PolicyKind {
             PolicyKind::ReactiveOnly => Box::new(CarrefourLp::reactive_only()),
             PolicyKind::CarrefourLpNoRetry => Box::new(CarrefourLp::without_retries()),
             PolicyKind::CarrefourLp | PolicyKind::CarrefourLp1g => Box::new(CarrefourLp::new()),
+            PolicyKind::Mitosis => Box::new(Mitosis::new()),
+            PolicyKind::NumaPte => Box::new(NumaPte::new()),
         }
     }
 
     /// Every kind, in declaration order (the order legends list them).
-    pub fn all() -> [PolicyKind; 10] {
+    pub fn all() -> [PolicyKind; 12] {
         [
             PolicyKind::Linux4k,
             PolicyKind::LinuxThp,
@@ -95,6 +104,8 @@ impl PolicyKind {
             PolicyKind::CarrefourLpNoRetry,
             PolicyKind::Linux1g,
             PolicyKind::CarrefourLp1g,
+            PolicyKind::Mitosis,
+            PolicyKind::NumaPte,
         ]
     }
 
@@ -119,6 +130,8 @@ impl PolicyKind {
             PolicyKind::CarrefourLpNoRetry => "Carrefour-LP-NoRetry",
             PolicyKind::Linux1g => "Linux-1G",
             PolicyKind::CarrefourLp1g => "Carrefour-LP-1G",
+            PolicyKind::Mitosis => "Mitosis",
+            PolicyKind::NumaPte => "numaPTE",
         }
     }
 }
@@ -297,7 +310,8 @@ pub mod json {
             "{{\"faults_4k\":{},\"faults_2m\":{},\"faults_1g\":{},\
              \"migrations_4k\":{},\"migrations_2m\":{},\"splits\":{},\
              \"collapses\":{},\"replications\":{},\"replica_collapses\":{},\
-             \"bytes_copied\":{}}}",
+             \"bytes_copied\":{},\"table_replications\":{},\
+             \"table_migrations\":{}}}",
             v.faults_4k,
             v.faults_2m,
             v.faults_1g,
@@ -308,6 +322,8 @@ pub mod json {
             v.replications,
             v.replica_collapses,
             v.bytes_copied,
+            v.table_replications,
+            v.table_migrations,
         )
     }
 
@@ -447,6 +463,8 @@ mod tests {
             PolicyKind::CarrefourLpNoRetry,
             PolicyKind::Linux1g,
             PolicyKind::CarrefourLp1g,
+            PolicyKind::Mitosis,
+            PolicyKind::NumaPte,
         ];
         let labels: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

@@ -194,6 +194,53 @@ fn every_epoch_resumes_with_a_tripped_circuit_breaker() {
     }
 }
 
+/// The two table-placement policies at their busiest: Mitosis while the
+/// replica sweep is still finding new tables, numaPTE while table pages
+/// are actively migrating. Snapshots at *every* epoch boundary — i.e.
+/// including mid-replication and mid-migration states — must resume
+/// bit-identical, and the per-op path must accept the same snapshots.
+/// The engagement assertions keep the test honest: if the workload stops
+/// provoking table actions, the test fails rather than hollowing out.
+#[test]
+fn every_epoch_resumes_mid_table_replication_and_migration() {
+    let _guard = env_lock();
+    std::env::remove_var("CARREFOUR_NO_FASTPATH");
+    let machine = MachineSpec::test_machine();
+    // Skewed onto node 0 so every other node's walks cross the
+    // interconnect: numaPTE sees remote walk steps, Mitosis's replicas
+    // actually matter.
+    let mut spec = small_spec("table-ckpt", 8, AccessPattern::SharedUniform);
+    spec.regions[0].alloc_skew = 1.0;
+    for kind in [PolicyKind::Mitosis, PolicyKind::NumaPte] {
+        let mut config = SimConfig::for_machine(&machine, kind.initial_thp());
+        config.attribution = true;
+        config.ibs.period = 32;
+        config.faults = FaultConfig::uniform(0xBEEF, 0.2);
+        let full = Simulation::run(&machine, &spec, &config, kind.make().as_mut());
+        let vm = &full.lifetime.vmem;
+        match kind {
+            PolicyKind::Mitosis => assert!(
+                vm.table_replications > 0,
+                "mitosis never replicated: {vm:?}"
+            ),
+            _ => assert!(vm.table_migrations > 0, "numapte never migrated: {vm:?}"),
+        }
+        let n = full.epochs.len() as u32;
+        for epoch in 0..=n {
+            assert_resume_identical(&machine, &spec, &config, || kind.make(), epoch, &full);
+        }
+        // A mid-stream snapshot must also resume identically on the
+        // forced per-op path (which must itself agree with the fast path).
+        let ckpt = Simulation::checkpoint_at(&machine, &spec, &config, kind.make().as_mut(), n / 2)
+            .expect("mid-run snapshot");
+        std::env::set_var("CARREFOUR_NO_FASTPATH", "1");
+        let resumed_slow =
+            Simulation::resume(&machine, &spec, &config, kind.make().as_mut(), &ckpt);
+        std::env::remove_var("CARREFOUR_NO_FASTPATH");
+        assert_eq!(&resumed_slow, &full, "per-op resume diverged ({:?})", kind);
+    }
+}
+
 proptest! {
     /// Random workload shapes, seeds, policies, nonzero fault plans, and a
     /// random snapshot epoch: the resumed run equals the uninterrupted one
@@ -212,6 +259,8 @@ proptest! {
             PolicyKind::LinuxThp,
             PolicyKind::CarrefourLp,
             PolicyKind::CarrefourLpNoRetry,
+            PolicyKind::Mitosis,
+            PolicyKind::NumaPte,
         ].as_slice(),
     ) {
         let _guard = env_lock();

@@ -120,6 +120,30 @@ fn real_cells_equivalent_across_jobs() {
     assert_jobs_equivalent(&specs, 1, 2);
 }
 
+/// `figPT` (the page-table placement experiment) is deterministic at any
+/// worker count: a Mitosis and a numaPTE cell from its spec list return
+/// bit-identical rows sequentially and with 3 workers. Full-matrix runs
+/// are covered by the experiment itself in CI; two cells keep tier-1 fast
+/// while still exercising both new policies through the pool.
+#[test]
+fn fig_pt_cells_equivalent_across_jobs() {
+    let exp = carrefour_bench::experiments::all()
+        .into_iter()
+        .find(|e| e.name == "figPT")
+        .expect("figPT registered");
+    let specs: Vec<CellSpec> = exp
+        .specs
+        .into_iter()
+        .filter(|s| {
+            matches!(s.kind, PolicyKind::Mitosis | PolicyKind::NumaPte)
+                && s.machine.name() == "machine-a"
+        })
+        .take(2)
+        .collect();
+    assert_eq!(specs.len(), 2, "figPT must sweep the table policies");
+    assert_jobs_equivalent(&specs, 1, 3);
+}
+
 /// A panicking cell no longer aborts the suite: a spec whose region setup
 /// fails (overlapping regions) comes back as `CellOutcome::Panicked` with
 /// the panic message, while every sibling cell still completes with its

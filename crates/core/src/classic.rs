@@ -308,6 +308,7 @@ mod tests {
             from_dram: true,
             is_store: false,
             page_size: PageSize::Size4K,
+            walk_remote_steps: 0,
         }
     }
 
@@ -431,6 +432,7 @@ mod tests {
             from_dram: true,
             is_store: false,
             page_size: PageSize::Size2M,
+            walk_remote_steps: 0,
         };
         // Huge pages need twice the small-page evidence (4 samples).
         let samples = vec![mk(0x1000, 0), mk(0x5000, 1), mk(0x9000, 0), mk(0xd000, 1)];
@@ -452,6 +454,7 @@ mod tests {
             from_dram: true,
             is_store: false,
             page_size: PageSize::Size2M,
+            walk_remote_steps: 0,
         };
         // Sub-page 0x20_1000 is private to node 1; sub-page 0x20_5000 to
         // node 2: after the split they should be migrated individually.

@@ -123,6 +123,7 @@ mod tests {
             from_dram: dram,
             is_store: false,
             page_size: size,
+            walk_remote_steps: 0,
         }
     }
 

@@ -45,8 +45,10 @@ mod config;
 pub mod lar;
 mod lp;
 mod robust;
+mod tables;
 
 pub use classic::Carrefour;
 pub use config::{CarrefourConfig, LpThresholds, RobustnessConfig};
 pub use lp::CarrefourLp;
 pub use robust::{CircuitBreaker, RetryQueue};
+pub use tables::{Mitosis, NumaPte, NumaPteConfig};

@@ -434,6 +434,7 @@ mod tests {
             from_dram: true,
             is_store: false,
             page_size: size,
+            walk_remote_steps: 0,
         }
     }
 

@@ -28,8 +28,12 @@ fn retry_key(action: &PolicyAction) -> Option<(u8, u64)> {
         PolicyAction::Split(v) => Some((1, v)),
         PolicyAction::SplitScatter(v) => Some((2, v)),
         PolicyAction::Replicate(v) => Some((3, v)),
-        // THP toggles cannot fail; they are never enqueued.
-        PolicyAction::SetThpAlloc(_) | PolicyAction::SetThpPromote(_) => None,
+        PolicyAction::MigrateTables(v, _) => Some((4, v)),
+        // THP toggles cannot fail, and a table-replication sweep absorbs
+        // its own allocation failures; none is ever enqueued.
+        PolicyAction::SetThpAlloc(_)
+        | PolicyAction::SetThpPromote(_)
+        | PolicyAction::ReplicateTables => None,
     }
 }
 

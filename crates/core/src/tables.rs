@@ -1,0 +1,310 @@
+//! Page-table placement policies: Mitosis-style replication and
+//! numaPTE-style migration.
+//!
+//! Both policies leave *data* pages exactly where the kernel put them and
+//! act only on the radix tables a hardware walk traverses. Mitosis
+//! (Achermann et al., ASPLOS '20) eagerly mirrors the page table onto
+//! every socket so a walk never crosses the interconnect; numaPTE (the
+//! lazy variant) watches where walks actually pay remote hops and moves
+//! only the table pages that hurt, toward the socket doing the walking.
+
+use engine::{EpochCtx, NumaPolicy};
+use numa_topology::NodeId;
+use std::collections::BTreeMap;
+
+/// Eager full-table replication (the Mitosis model).
+///
+/// Every epoch it issues one idempotent [`ReplicateTables`] sweep: the
+/// first fires a full replication of the radix tree onto every node;
+/// later sweeps only copy tables created since (page faults growing the
+/// tree). Walks then resolve each step through the walking node's local
+/// replica, and every PTE store pays a write fan-out to keep the copies
+/// coherent — the trade the paper's Mitosis comparison measures.
+///
+/// [`ReplicateTables`]: engine::PolicyAction::ReplicateTables
+pub struct Mitosis;
+
+impl Mitosis {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Mitosis
+    }
+}
+
+impl Default for Mitosis {
+    fn default() -> Self {
+        Mitosis::new()
+    }
+}
+
+impl NumaPolicy for Mitosis {
+    fn name(&self) -> &str {
+        "mitosis"
+    }
+
+    fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>) {
+        // On a 1-node machine every walk step is already local and a
+        // replica would be the primary itself: stay provably inert.
+        if ctx.machine.num_nodes() > 1 {
+            ctx.replicate_tables();
+        }
+    }
+
+    fn consumes_samples(&self) -> bool {
+        false
+    }
+
+    // Stateless: the replica set itself lives in `AddressSpace` and
+    // travels with the space checkpoint, so there is nothing to save.
+}
+
+/// Thresholds for [`NumaPte`].
+#[derive(Clone, Copy, Debug)]
+pub struct NumaPteConfig {
+    /// Minimum remote-walk samples a 2 MiB table region needs in one
+    /// epoch before its PTE page is worth moving.
+    pub min_walk_samples: u32,
+    /// Table migrations per epoch (each is a 4 KiB page copy plus a
+    /// walk-cache shootdown; unbounded chasing would thrash).
+    pub max_migrations_per_epoch: usize,
+}
+
+impl Default for NumaPteConfig {
+    fn default() -> Self {
+        NumaPteConfig {
+            min_walk_samples: 4,
+            max_migrations_per_epoch: 8,
+        }
+    }
+}
+
+/// Sampled, lazy table migration (the numaPTE model).
+///
+/// Consumes the epoch's IBS samples, keeps only those whose walk paid
+/// remote steps (`walk_remote_steps > 0`), groups them by the 2 MiB
+/// region one PTE page maps, and migrates the deepest table page of each
+/// sufficiently-hot region to the node doing most of the walking.
+/// Regions are placed once per verdict: a region already moved to node
+/// *n* is not re-issued until the samples name a different winner.
+pub struct NumaPte {
+    cfg: NumaPteConfig,
+    /// Last node each 2 MiB region's PTE page was migrated to
+    /// (hysteresis: don't re-issue a placement that already happened).
+    placed: BTreeMap<u64, u16>,
+}
+
+impl NumaPte {
+    /// Creates the policy with default thresholds.
+    pub fn new() -> Self {
+        NumaPte::with_config(NumaPteConfig::default())
+    }
+
+    /// Creates the policy with explicit thresholds.
+    pub fn with_config(cfg: NumaPteConfig) -> Self {
+        NumaPte {
+            cfg,
+            placed: BTreeMap::new(),
+        }
+    }
+}
+
+impl Default for NumaPte {
+    fn default() -> Self {
+        NumaPte::new()
+    }
+}
+
+const REGION_MASK: u64 = !((2u64 << 20) - 1);
+
+impl NumaPolicy for NumaPte {
+    fn name(&self) -> &str {
+        "numapte"
+    }
+
+    fn on_epoch(&mut self, ctx: &mut EpochCtx<'_>) {
+        // Remote-walk votes per (region, walking node). On a 1-node
+        // machine no walk step is ever remote, so this stays empty and
+        // the policy is provably inert.
+        let mut votes: BTreeMap<u64, BTreeMap<u16, u32>> = BTreeMap::new();
+        for s in ctx.samples {
+            if s.walk_remote_steps == 0 {
+                continue;
+            }
+            *votes
+                .entry(s.vaddr.0 & REGION_MASK)
+                .or_default()
+                .entry(s.accessing_node.0)
+                .or_insert(0) += 1;
+        }
+
+        // Hottest regions first, so the budget goes where walks hurt most.
+        let mut order: Vec<(u64, u16, u32)> = votes
+            .into_iter()
+            .filter_map(|(region, nodes)| {
+                let total: u32 = nodes.values().sum();
+                // Majority walking node; ties break to the lower node id
+                // (BTreeMap order) for determinism.
+                let (&node, &n) = nodes.iter().max_by_key(|&(&id, &n)| (n, !id))?;
+                // Require a clear winner, not just traffic: a PTE page
+                // walked evenly from two sockets has no good home.
+                if total < self.cfg.min_walk_samples || n * 2 <= total {
+                    return None;
+                }
+                Some((region, node, total))
+            })
+            .collect();
+        order.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+
+        let mut budget = self.cfg.max_migrations_per_epoch;
+        for (region, node, _) in order {
+            if budget == 0 {
+                break;
+            }
+            if self.placed.get(&region) == Some(&node) {
+                continue;
+            }
+            ctx.migrate_tables(region, NodeId(node));
+            self.placed.insert(region, node);
+            budget -= 1;
+        }
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut e = codec::Enc::new();
+        e.seq(self.placed.iter(), |e, (&r, &n)| {
+            e.u64(r);
+            e.u16(n);
+        });
+        e.into_bytes()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) {
+        let mut d = codec::Dec::new(bytes);
+        self.placed = d.seq(|d| (d.u64(), d.u16())).into_iter().collect();
+        d.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::PolicyAction;
+    use numa_topology::MachineSpec;
+    use profiling::{EpochCounters, IbsSample};
+    use vmem::{PageSize, ThpControls, VirtAddr};
+
+    fn walk_sample(vaddr: u64, accessing: u16, remote_steps: u8) -> IbsSample {
+        IbsSample {
+            vaddr: VirtAddr(vaddr),
+            accessing_node: NodeId(accessing),
+            thread: accessing,
+            home_node: NodeId(0),
+            from_dram: true,
+            is_store: false,
+            page_size: PageSize::Size4K,
+            walk_remote_steps: remote_steps,
+        }
+    }
+
+    fn run(policy: &mut dyn NumaPolicy, samples: &[IbsSample], epoch: u32) -> Vec<PolicyAction> {
+        let machine = MachineSpec::machine_a();
+        let counters = EpochCounters::default();
+        let mut ctx = EpochCtx::new(
+            &machine,
+            &counters,
+            samples,
+            ThpControls::small_only(),
+            epoch,
+        );
+        policy.on_epoch(&mut ctx);
+        ctx.take_actions()
+    }
+
+    #[test]
+    fn mitosis_sweeps_every_epoch() {
+        let mut m = Mitosis::new();
+        assert_eq!(run(&mut m, &[], 0), vec![PolicyAction::ReplicateTables]);
+        assert_eq!(run(&mut m, &[], 1), vec![PolicyAction::ReplicateTables]);
+        assert!(!m.consumes_samples());
+    }
+
+    #[test]
+    fn mitosis_is_inert_on_one_node() {
+        let machine = MachineSpec::homogeneous(
+            "uma",
+            2.0,
+            1,
+            8,
+            16 << 30,
+            numa_topology::Interconnect::full_mesh(1),
+        );
+        let counters = EpochCounters::default();
+        let mut ctx = EpochCtx::new(&machine, &counters, &[], ThpControls::small_only(), 0);
+        Mitosis::new().on_epoch(&mut ctx);
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn numapte_migrates_hot_region_to_majority_walker() {
+        let mut p = NumaPte::new();
+        let samples: Vec<_> = (0..5)
+            .map(|i| walk_sample(0x40_0000 + i * 0x1000, 2, 3))
+            .chain((0..2).map(|i| walk_sample(0x40_8000 + i * 0x1000, 1, 1)))
+            .collect();
+        assert_eq!(
+            run(&mut p, &samples, 0),
+            vec![PolicyAction::MigrateTables(0x40_0000, NodeId(2))]
+        );
+        // Same evidence next epoch: already placed, no churn.
+        assert!(run(&mut p, &samples, 1).is_empty());
+    }
+
+    #[test]
+    fn numapte_ignores_local_walks_and_thin_evidence() {
+        let mut p = NumaPte::new();
+        // All walks local: nothing to fix.
+        let local: Vec<_> = (0..8).map(|i| walk_sample(i * 0x1000, 1, 0)).collect();
+        assert!(run(&mut p, &local, 0).is_empty());
+        // Below min_walk_samples.
+        let thin: Vec<_> = (0..3).map(|i| walk_sample(i * 0x1000, 1, 2)).collect();
+        assert!(run(&mut p, &thin, 1).is_empty());
+    }
+
+    #[test]
+    fn numapte_requires_a_majority() {
+        let mut p = NumaPte::new();
+        // 3 votes node 1, 3 votes node 2: evenly shared, leave it alone.
+        let samples: Vec<_> = (0..3)
+            .map(|i| walk_sample(0x20_0000 + i * 0x1000, 1, 2))
+            .chain((0..3).map(|i| walk_sample(0x20_8000 + i * 0x1000, 2, 2)))
+            .collect();
+        assert!(run(&mut p, &samples, 0).is_empty());
+    }
+
+    #[test]
+    fn numapte_budget_bounds_migrations() {
+        let cfg = NumaPteConfig {
+            min_walk_samples: 1,
+            max_migrations_per_epoch: 2,
+        };
+        let mut p = NumaPte::with_config(cfg);
+        let samples: Vec<_> = (0..6u64)
+            .map(|r| walk_sample(r * 0x20_0000, 1, 1))
+            .collect();
+        assert_eq!(run(&mut p, &samples, 0).len(), 2);
+    }
+
+    #[test]
+    fn numapte_state_roundtrips() {
+        let mut p = NumaPte::new();
+        let samples: Vec<_> = (0..5)
+            .map(|i| walk_sample(0x40_0000 + i * 0x1000, 2, 3))
+            .collect();
+        assert_eq!(run(&mut p, &samples, 0).len(), 1);
+        let bytes = p.save_state();
+        let mut q = NumaPte::new();
+        q.restore_state(&bytes);
+        // Restored instance remembers the placement: no re-issue.
+        assert!(run(&mut q, &samples, 1).is_empty());
+    }
+}

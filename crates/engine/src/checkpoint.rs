@@ -47,9 +47,11 @@ pub const VERSION: u32 = 1;
 /// Descriptor of the payload layout. Any change to what the snapshot
 /// serializes (or its order) MUST extend this string so old checkpoints
 /// are rejected by schema hash instead of mis-decoded.
-const SCHEMA: &str = "ckpt-v1: gen space walk_cache tlbs mem sampler page_stats? faults \
-                      fault_epoch fault_life robust wall total_ops overhead_total epochs \
-                      last_failures attrib(prelude core_totals epochs)? policy_bytes";
+const SCHEMA: &str = "ckpt-v1: gen space(+table_homing) walk_cache tlbs mem \
+                      sampler(+walk_remote_steps) page_stats? faults fault_epoch fault_life \
+                      robust wall total_ops overhead_total epochs last_failures \
+                      attrib(prelude core_totals epochs; 19 buckets)? policy_bytes; \
+                      actions+={replicate_tables,migrate_tables}";
 
 /// FNV-1a hash of the payload schema descriptor.
 pub fn schema_hash() -> u64 {
@@ -241,6 +243,14 @@ pub fn enc_action(e: &mut Enc, a: &PolicyAction) {
             e.u8(5);
             e.bool(b);
         }
+        PolicyAction::ReplicateTables => {
+            e.u8(6);
+        }
+        PolicyAction::MigrateTables(v, node) => {
+            e.u8(7);
+            e.u64(v);
+            e.u16(node.0);
+        }
     }
 }
 
@@ -253,6 +263,8 @@ pub fn dec_action(d: &mut Dec<'_>) -> PolicyAction {
         3 => PolicyAction::Replicate(d.u64()),
         4 => PolicyAction::SetThpAlloc(d.bool()),
         5 => PolicyAction::SetThpPromote(d.bool()),
+        6 => PolicyAction::ReplicateTables,
+        7 => PolicyAction::MigrateTables(d.u64(), NodeId(d.u16())),
         t => panic!("ckpt: invalid PolicyAction tag {t}"),
     }
 }
@@ -295,8 +307,10 @@ pub(crate) fn enc_breakdown(e: &mut Enc, b: &CycleBreakdown) {
     e.u64(b.dram_service);
     e.u64(b.ctrl_queue);
     e.u64(b.interconnect);
-    e.u64(b.walk_pwc_hit);
-    e.u64(b.walk_pwc_miss);
+    e.u64(b.walk_pwc_hit_local);
+    e.u64(b.walk_pwc_hit_remote);
+    e.u64(b.walk_pwc_miss_local);
+    e.u64(b.walk_pwc_miss_remote);
     e.u64(b.fault);
     e.u64(b.replica_collapse);
     e.u64(b.khugepaged);
@@ -316,8 +330,10 @@ pub(crate) fn dec_breakdown(d: &mut Dec<'_>) -> CycleBreakdown {
         dram_service: d.u64(),
         ctrl_queue: d.u64(),
         interconnect: d.u64(),
-        walk_pwc_hit: d.u64(),
-        walk_pwc_miss: d.u64(),
+        walk_pwc_hit_local: d.u64(),
+        walk_pwc_hit_remote: d.u64(),
+        walk_pwc_miss_local: d.u64(),
+        walk_pwc_miss_remote: d.u64(),
         fault: d.u64(),
         replica_collapse: d.u64(),
         khugepaged: d.u64(),
@@ -424,6 +440,8 @@ fn enc_lifetime(e: &mut Enc, l: &LifetimeStats) {
     e.u64(l.vmem.replications);
     e.u64(l.vmem.replica_collapses);
     e.u64(l.vmem.bytes_copied);
+    e.u64(l.vmem.table_replications);
+    e.u64(l.vmem.table_migrations);
     e.u64(l.overhead_cycles);
     e.u64(l.ibs_samples);
     e.u64(l.total_ops);
@@ -449,6 +467,8 @@ fn dec_lifetime(d: &mut Dec<'_>) -> LifetimeStats {
             replications: d.u64(),
             replica_collapses: d.u64(),
             bytes_copied: d.u64(),
+            table_replications: d.u64(),
+            table_migrations: d.u64(),
         },
         overhead_cycles: d.u64(),
         ibs_samples: d.u64(),
@@ -691,6 +711,8 @@ mod tests {
             PolicyAction::Replicate(0x1000),
             PolicyAction::SetThpAlloc(true),
             PolicyAction::SetThpPromote(false),
+            PolicyAction::ReplicateTables,
+            PolicyAction::MigrateTables(0x20_0000, NodeId(2)),
         ];
         let errors = [ActionError::Busy, ActionError::NoMemory, ActionError::Gone];
         let mut e = Enc::new();

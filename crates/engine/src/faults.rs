@@ -431,6 +431,7 @@ mod tests {
             from_dram: true,
             is_store: false,
             page_size: PageSize::Size4K,
+            walk_remote_steps: 0,
         }
     }
 

@@ -23,6 +23,13 @@ pub enum PolicyAction {
     SetThpAlloc(bool),
     /// Enable or disable khugepaged promotion.
     SetThpPromote(bool),
+    /// Replicate every reachable page-table page onto every node (the
+    /// Mitosis model: walks then read the local copy). Idempotent —
+    /// re-issuing it only replicates tables created since the last sweep.
+    ReplicateTables,
+    /// Migrate the deepest page-table page on the walk path of this
+    /// virtual address so it is homed on the node (the numaPTE model).
+    MigrateTables(u64, NodeId),
 }
 
 /// Why a policy action failed.
@@ -192,6 +199,18 @@ impl<'a> EpochCtx<'a> {
     /// Toggles khugepaged promotion (Algorithm 1 line 6).
     pub fn set_thp_promote(&mut self, enabled: bool) {
         self.actions.push(PolicyAction::SetThpPromote(enabled));
+    }
+
+    /// Requests a Mitosis-style sweep replicating every reachable
+    /// page-table page onto every node.
+    pub fn replicate_tables(&mut self) {
+        self.actions.push(PolicyAction::ReplicateTables);
+    }
+
+    /// Requests a numaPTE-style migration of the page-table page serving
+    /// `vaddr` so it is homed on `node`.
+    pub fn migrate_tables(&mut self, vaddr: u64, node: NodeId) {
+        self.actions.push(PolicyAction::MigrateTables(vaddr, node));
     }
 
     /// Actions queued so far (visible for policy-composition and tests).

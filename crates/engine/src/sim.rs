@@ -195,6 +195,7 @@ impl<'m, 't> SimState<'m, 't> {
         let core = CoreId::from(thread);
         let node = self.machine.node_of_core(core);
         let mut cycles: u64 = 0;
+        let mut walk_remote: u8 = 0;
 
         // 1. Address translation.
         let mapping = match self.tlbs[thread].lookup(vaddr) {
@@ -211,7 +212,7 @@ impl<'m, 't> SimState<'m, 't> {
                 if let Some(b) = bd.as_deref_mut() {
                     b.tlb_lookup += u64::from(self.l2_tlb_hit_cycles);
                 }
-                let m = self.walk_and_maybe_fault(
+                let (m, remote) = self.walk_and_maybe_fault(
                     thread,
                     vaddr,
                     node,
@@ -219,6 +220,7 @@ impl<'m, 't> SimState<'m, 't> {
                     &mut cycles,
                     bd.as_deref_mut(),
                 );
+                walk_remote = remote;
                 self.tlbs[thread].insert(m);
                 m
             }
@@ -281,6 +283,7 @@ impl<'m, 't> SimState<'m, 't> {
             from_dram: out.dram(),
             is_store: op.is_write,
             page_size: mapping.size,
+            walk_remote_steps: walk_remote,
         });
         if let Some(stats) = self.page_stats.as_mut() {
             stats.record(vaddr, thread as u16);
@@ -289,11 +292,16 @@ impl<'m, 't> SimState<'m, 't> {
     }
 
     /// Hardware page-table walk, servicing a demand fault if needed.
+    /// Returns the walked mapping and the number of walk steps that were
+    /// served by a *remote* table frame (after Mitosis replica
+    /// substitution) — the signal numaPTE-style policies consume via IBS.
     ///
     /// With `bd` supplied, step-replay cycles are booked by walk-cache
-    /// outcome (`walk_pwc_hit` when the region's upper levels were
-    /// memoized, `walk_pwc_miss` for a full walk — the paging-structure-
-    /// cache distinction) and fault handling goes to `fault`.
+    /// outcome (`walk_pwc_hit_*` when the region's upper levels were
+    /// memoized, `walk_pwc_miss_*` for a full walk — the paging-structure-
+    /// cache distinction), split by whether the table frame serving each
+    /// step is local or remote to the walking core; fault handling goes to
+    /// `fault`.
     fn walk_and_maybe_fault(
         &mut self,
         thread: usize,
@@ -302,11 +310,17 @@ impl<'m, 't> SimState<'m, 't> {
         faulting_threads: usize,
         cycles: &mut u64,
         mut bd: Option<&mut CycleBreakdown>,
-    ) -> Mapping {
+    ) -> (Mapping, u8) {
         let core = CoreId::from(thread);
         let hits_before = self.walk_cache.hits();
         let walk = self.space.walk_cached(vaddr, &mut self.walk_cache);
         let pwc_hit = self.walk_cache.hits() > hits_before;
+        // Replicated page tables serve the walk from the walking node's
+        // copy: substitute each step before it is charged. The walk cache
+        // stays node-agnostic (it memoizes the primary steps), so the
+        // substitution happens at charge time on both the cached and
+        // uncached paths identically.
+        let treps = self.space.has_table_replicas();
         // Every step address is known before any is charged: prefetch all
         // their cache sets (host-side only, no simulated effect) so the
         // random, usually host-cold set loads overlap instead of
@@ -314,27 +328,43 @@ impl<'m, 't> SimState<'m, 't> {
         // access follows right after the walk, and its physical address is
         // already determined by the walked mapping — warm its sets too,
         // with the whole step replay as the overlap window.
-        for step in walk.steps() {
-            self.mem.prefetch_access(core, step.pte_addr.0);
+        for &step in walk.steps() {
+            let s = if treps {
+                self.space.resolve_table_step(step, node)
+            } else {
+                step
+            };
+            self.mem.prefetch_access(core, s.pte_addr.0);
         }
         if let Some(m) = walk.mapping {
             self.mem.prefetch_access(core, m.translate(vaddr).0);
         }
-        for step in walk.steps() {
+        let mut remote_steps: u8 = 0;
+        for &step in walk.steps() {
+            let s = if treps {
+                self.space.resolve_table_step(step, node)
+            } else {
+                step
+            };
+            let local = s.node == node;
+            if !local {
+                remote_steps += 1;
+            }
             let out = self
                 .mem
-                .access(core, step.pte_addr.0, step.node, AccessKind::PageWalk);
+                .access(core, s.pte_addr.0, s.node, AccessKind::PageWalk);
             *cycles += u64::from(out.cycles);
             if let Some(b) = bd.as_deref_mut() {
-                if pwc_hit {
-                    b.walk_pwc_hit += u64::from(out.cycles);
-                } else {
-                    b.walk_pwc_miss += u64::from(out.cycles);
+                match (pwc_hit, local) {
+                    (true, true) => b.walk_pwc_hit_local += u64::from(out.cycles),
+                    (true, false) => b.walk_pwc_hit_remote += u64::from(out.cycles),
+                    (false, true) => b.walk_pwc_miss_local += u64::from(out.cycles),
+                    (false, false) => b.walk_pwc_miss_remote += u64::from(out.cycles),
                 }
             }
         }
         if let Some(m) = walk.mapping {
-            return m;
+            return (m, remote_steps);
         }
         // Demand fault: allocation plus lock contention from siblings
         // faulting in the same interval. Contention saturates: past ~48
@@ -370,7 +400,7 @@ impl<'m, 't> SimState<'m, 't> {
             node: fault.mapping.node.0,
             thread: thread as u16,
         });
-        fault.mapping
+        (fault.mapping, remote_steps)
     }
 
     /// Invalidates one page's entry in every core's TLB (shootdown).
@@ -440,6 +470,7 @@ impl<'m, 't> SimState<'m, 't> {
         for &op in ops {
             let vaddr = VirtAddr(op.vaddr);
             let mut cycles: u64 = 0;
+            let mut walk_remote: u8 = 0;
 
             // 1. Address translation (identical to run_op).
             let mapping = match self.tlbs[thread].lookup(vaddr) {
@@ -456,7 +487,7 @@ impl<'m, 't> SimState<'m, 't> {
                     if let Some(b) = bd.as_deref_mut() {
                         b.tlb_lookup += u64::from(self.l2_tlb_hit_cycles);
                     }
-                    let m = self.walk_and_maybe_fault(
+                    let (m, remote) = self.walk_and_maybe_fault(
                         thread,
                         vaddr,
                         node,
@@ -464,6 +495,7 @@ impl<'m, 't> SimState<'m, 't> {
                         &mut cycles,
                         bd.as_deref_mut(),
                     );
+                    walk_remote = remote;
                     self.tlbs[thread].insert(m);
                     // The walk probed the hierarchy on this core: the L1's
                     // MRU way may have changed.
@@ -554,6 +586,7 @@ impl<'m, 't> SimState<'m, 't> {
                     from_dram: out.dram(),
                     is_store: op.is_write,
                     page_size: mapping.size,
+                    walk_remote_steps: walk_remote,
                 });
                 until = period;
             } else {
@@ -728,6 +761,55 @@ impl<'m, 't> SimState<'m, 't> {
                         }
                         Err(e) => {
                             self.robust.failed_replications += 1;
+                            failures.push(FailedAction {
+                                action: a,
+                                error: action_error(&e),
+                            });
+                        }
+                    }
+                }
+                PolicyAction::ReplicateTables => {
+                    // Idempotent sweep: after the first epoch only tables
+                    // created since (by later faults/splits) are copied, so
+                    // re-issuing it every epoch is cheap. Alloc failures
+                    // skip nodes silently — the walk keeps reading the
+                    // primary there, which is correct, just slower.
+                    let (created, c) = self.space.replicate_tables(self.machine.num_nodes());
+                    if created > 0 {
+                        migrations += created; // replica copies count as moves
+                        costs.replicate += c;
+                        self.emit(|| TraceEvent::TableReplication {
+                            epoch,
+                            tables: created,
+                        });
+                    }
+                }
+                PolicyAction::MigrateTables(v, node) => {
+                    if self.faults.check_busy(v) {
+                        self.robust.failed_migrations += 1;
+                        failures.push(FailedAction {
+                            action: a,
+                            error: ActionError::Busy,
+                        });
+                        continue;
+                    }
+                    match self.space.migrate_table(VirtAddr(v), node) {
+                        Ok((Some(from), c)) => {
+                            // The rehome bumped the walk-cache generation;
+                            // leaf translations are untouched, so data TLBs
+                            // need no shootdown.
+                            migrations += 1;
+                            costs.migrate += c;
+                            self.emit(|| TraceEvent::TableMigration {
+                                epoch,
+                                vbase: v,
+                                from: from.0,
+                                to: node.0,
+                            });
+                        }
+                        Ok((None, _)) => {}
+                        Err(e) => {
+                            self.robust.failed_migrations += 1;
                             failures.push(FailedAction {
                                 action: a,
                                 error: action_error(&e),

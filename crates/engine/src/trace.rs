@@ -186,6 +186,24 @@ pub enum TraceEvent {
         /// The snapshot.
         snap: EpochSnap,
     },
+    /// A Mitosis-style sweep replicated page-table pages onto every node.
+    TableReplication {
+        /// Epoch that just closed.
+        epoch: u32,
+        /// Replica table frames created by this sweep.
+        tables: u64,
+    },
+    /// A numaPTE-style page-table migration succeeded.
+    TableMigration {
+        /// Epoch that just closed.
+        epoch: u32,
+        /// Virtual address whose deepest table page moved.
+        vbase: u64,
+        /// Node the table page lived on.
+        from: u16,
+        /// Node the table page moved to.
+        to: u16,
+    },
 }
 
 /// Per-epoch observability snapshot emitted with [`TraceEvent::EpochEnd`].
@@ -238,6 +256,8 @@ impl TraceEvent {
             TraceEvent::Decision { .. } => EventKind::Decision,
             TraceEvent::ActionFailed { .. } => EventKind::ActionFailed,
             TraceEvent::EpochEnd { .. } => EventKind::EpochEnd,
+            TraceEvent::TableReplication { .. } => EventKind::TableReplication,
+            TraceEvent::TableMigration { .. } => EventKind::TableMigration,
         }
     }
 
@@ -254,7 +274,9 @@ impl TraceEvent {
             | TraceEvent::ThpToggle { epoch, .. }
             | TraceEvent::Decision { epoch, .. }
             | TraceEvent::ActionFailed { epoch, .. }
-            | TraceEvent::EpochEnd { epoch, .. } => *epoch,
+            | TraceEvent::EpochEnd { epoch, .. }
+            | TraceEvent::TableReplication { epoch, .. }
+            | TraceEvent::TableMigration { epoch, .. } => *epoch,
         }
     }
 
@@ -295,6 +317,14 @@ impl TraceEvent {
                 PolicyAction::SetThpPromote(b) => {
                     h.word(5);
                     h.word(u64::from(*b));
+                }
+                PolicyAction::ReplicateTables => {
+                    h.word(6);
+                }
+                PolicyAction::MigrateTables(v, n) => {
+                    h.word(7);
+                    h.word(*v);
+                    h.word(u64::from(n.0));
                 }
             }
         }
@@ -442,6 +472,21 @@ impl TraceEvent {
                 h.word(u64::from(snap.thp_alloc));
                 h.word(u64::from(snap.thp_promote));
             }
+            TraceEvent::TableReplication { epoch, tables } => {
+                h.word(u64::from(*epoch));
+                h.word(*tables);
+            }
+            TraceEvent::TableMigration {
+                epoch,
+                vbase,
+                from,
+                to,
+            } => {
+                h.word(u64::from(*epoch));
+                h.word(*vbase);
+                h.word(u64::from(*from));
+                h.word(u64::from(*to));
+            }
         }
     }
 
@@ -581,6 +626,10 @@ impl TraceEvent {
                     PolicyAction::SetThpPromote(b) => {
                         ("set_thp_promote", u64::from(*b).to_string())
                     }
+                    PolicyAction::ReplicateTables => ("replicate_tables", "0".to_string()),
+                    PolicyAction::MigrateTables(v, n) => {
+                        ("migrate_tables", format!("{v},\"to\":{}", n.0))
+                    }
                 };
                 let err = match error {
                     ActionError::Busy => "busy",
@@ -621,6 +670,18 @@ impl TraceEvent {
                 snap.thp_alloc,
                 snap.thp_promote,
             ),
+            TraceEvent::TableReplication { epoch, tables } => {
+                format!("{{\"ev\":\"table_replication\",\"epoch\":{epoch},\"tables\":{tables}}}")
+            }
+            TraceEvent::TableMigration {
+                epoch,
+                vbase,
+                from,
+                to,
+            } => format!(
+                "{{\"ev\":\"table_migration\",\"epoch\":{epoch},\"vbase\":{vbase},\
+                 \"from\":{from},\"to\":{to}}}"
+            ),
         }
     }
 }
@@ -651,6 +712,10 @@ pub enum EventKind {
     ActionFailed = 9,
     /// [`TraceEvent::EpochEnd`].
     EpochEnd = 10,
+    /// [`TraceEvent::TableReplication`].
+    TableReplication = 11,
+    /// [`TraceEvent::TableMigration`].
+    TableMigration = 12,
 }
 
 /// Where trace events go. Implementations must be pure observers: a sink
@@ -708,7 +773,7 @@ impl Default for Fnv64 {
 /// Counts events by kind — the cheapest possible sink.
 #[derive(Clone, Debug, Default)]
 pub struct CountingSink {
-    counts: [u64; 11],
+    counts: [u64; 13],
 }
 
 impl CountingSink {

@@ -198,7 +198,7 @@ fn buckets_reflect_architectural_activity() {
     assert!(t.compute > 0, "think cycles must land in compute");
     assert!(t.fault > 0, "demand faults must be booked: {t:?}");
     assert!(
-        t.tlb_lookup > 0 && t.walk_pwc_hit + t.walk_pwc_miss > 0,
+        t.tlb_lookup > 0 && t.walk_cycles() > 0,
         "TLB misses must book lookup and walk cycles: {t:?}"
     );
     // The wall ledger holds only each round's critical-path thread, which

@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Number of buckets in a [`CycleBreakdown`].
-pub const BUCKET_COUNT: usize = 17;
+pub const BUCKET_COUNT: usize = 19;
 
 /// One interval's wall cycles, split by architectural cause.
 ///
@@ -43,11 +43,19 @@ pub struct CycleBreakdown {
     pub ctrl_queue: u64,
     /// Interconnect time (hop latency + link queueing), after MLP overlap.
     pub interconnect: u64,
-    /// Page-walk step references on walks whose upper levels hit the
-    /// paging-structure (walk) cache.
-    pub walk_pwc_hit: u64,
-    /// Page-walk step references on full walks (walk-cache miss).
-    pub walk_pwc_miss: u64,
+    /// Page-walk step references to table frames *local* to the walking
+    /// node, on walks whose upper levels hit the paging-structure (walk)
+    /// cache.
+    pub walk_pwc_hit_local: u64,
+    /// Page-walk step references to *remote* table frames on walks whose
+    /// upper levels hit the walk cache — the Mitosis/numaPTE target.
+    pub walk_pwc_hit_remote: u64,
+    /// Page-walk step references to local table frames on full walks
+    /// (walk-cache miss).
+    pub walk_pwc_miss_local: u64,
+    /// Page-walk step references to remote table frames on full walks
+    /// (walk-cache miss).
+    pub walk_pwc_miss_remote: u64,
     /// Page-fault handling (allocation + lock contention).
     pub fault: u64,
     /// In-line replica-collapse copies triggered by stores to replicated
@@ -82,8 +90,10 @@ impl CycleBreakdown {
         self.dram_service += other.dram_service;
         self.ctrl_queue += other.ctrl_queue;
         self.interconnect += other.interconnect;
-        self.walk_pwc_hit += other.walk_pwc_hit;
-        self.walk_pwc_miss += other.walk_pwc_miss;
+        self.walk_pwc_hit_local += other.walk_pwc_hit_local;
+        self.walk_pwc_hit_remote += other.walk_pwc_hit_remote;
+        self.walk_pwc_miss_local += other.walk_pwc_miss_local;
+        self.walk_pwc_miss_remote += other.walk_pwc_miss_remote;
         self.fault += other.fault;
         self.replica_collapse += other.replica_collapse;
         self.khugepaged += other.khugepaged;
@@ -106,8 +116,10 @@ impl CycleBreakdown {
             ("dram_service", self.dram_service),
             ("ctrl_queue", self.ctrl_queue),
             ("interconnect", self.interconnect),
-            ("walk_pwc_hit", self.walk_pwc_hit),
-            ("walk_pwc_miss", self.walk_pwc_miss),
+            ("walk_pwc_hit_local", self.walk_pwc_hit_local),
+            ("walk_pwc_hit_remote", self.walk_pwc_hit_remote),
+            ("walk_pwc_miss_local", self.walk_pwc_miss_local),
+            ("walk_pwc_miss_remote", self.walk_pwc_miss_remote),
             ("fault", self.fault),
             ("replica_collapse", self.replica_collapse),
             ("khugepaged", self.khugepaged),
@@ -118,9 +130,20 @@ impl CycleBreakdown {
         ]
     }
 
-    /// Combined page-walk time (both walk-cache outcomes).
+    /// Combined page-walk time (both walk-cache outcomes, both localities).
     pub fn walk_cycles(&self) -> u64 {
-        self.walk_pwc_hit + self.walk_pwc_miss
+        self.walk_local_cycles() + self.walk_remote_cycles()
+    }
+
+    /// Page-walk time spent on table frames local to the walking node.
+    pub fn walk_local_cycles(&self) -> u64 {
+        self.walk_pwc_hit_local + self.walk_pwc_miss_local
+    }
+
+    /// Page-walk time spent on remote table frames — the cycles page-table
+    /// replication (Mitosis) and migration (numaPTE) exist to remove.
+    pub fn walk_remote_cycles(&self) -> u64 {
+        self.walk_pwc_hit_remote + self.walk_pwc_miss_remote
     }
 
     /// Combined DRAM-path time (service + queueing + interconnect).
@@ -142,7 +165,7 @@ mod tests {
         // Distinct primes so any dropped/duplicated bucket changes the sum.
         let mut b = CycleBreakdown::default();
         let primes = [
-            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
         ];
         b.compute = primes[0];
         b.tlb_lookup = primes[1];
@@ -152,15 +175,17 @@ mod tests {
         b.dram_service = primes[5];
         b.ctrl_queue = primes[6];
         b.interconnect = primes[7];
-        b.walk_pwc_hit = primes[8];
-        b.walk_pwc_miss = primes[9];
-        b.fault = primes[10];
-        b.replica_collapse = primes[11];
-        b.khugepaged = primes[12];
-        b.ibs_sampling = primes[13];
-        b.policy_migration = primes[14];
-        b.policy_split = primes[15];
-        b.policy_replication = primes[16];
+        b.walk_pwc_hit_local = primes[8];
+        b.walk_pwc_hit_remote = primes[9];
+        b.walk_pwc_miss_local = primes[10];
+        b.walk_pwc_miss_remote = primes[11];
+        b.fault = primes[12];
+        b.replica_collapse = primes[13];
+        b.khugepaged = primes[14];
+        b.ibs_sampling = primes[15];
+        b.policy_migration = primes[16];
+        b.policy_split = primes[17];
+        b.policy_replication = primes[18];
         b
     }
 
@@ -168,7 +193,7 @@ mod tests {
     fn total_sums_every_bucket() {
         let b = filled();
         let expected: u64 = [
-            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59,
+            2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
         ]
         .iter()
         .sum();
@@ -204,7 +229,21 @@ mod tests {
     #[test]
     fn group_helpers_cover_their_buckets() {
         let b = filled();
-        assert_eq!(b.walk_cycles(), b.walk_pwc_hit + b.walk_pwc_miss);
+        assert_eq!(
+            b.walk_cycles(),
+            b.walk_pwc_hit_local
+                + b.walk_pwc_hit_remote
+                + b.walk_pwc_miss_local
+                + b.walk_pwc_miss_remote
+        );
+        assert_eq!(
+            b.walk_local_cycles(),
+            b.walk_pwc_hit_local + b.walk_pwc_miss_local
+        );
+        assert_eq!(
+            b.walk_remote_cycles(),
+            b.walk_pwc_hit_remote + b.walk_pwc_miss_remote
+        );
         assert_eq!(
             b.dram_cycles(),
             b.dram_service + b.ctrl_queue + b.interconnect

@@ -43,6 +43,10 @@ pub struct IbsSample {
     pub is_store: bool,
     /// Size of the page backing the access at sample time.
     pub page_size: PageSize,
+    /// Page-walk steps this access paid to *remote* table frames (0 when
+    /// the TLB hit and no walk ran). Real IBS exposes tablewalk-latency
+    /// tags; numaPTE keys its table-migration decisions off exactly this.
+    pub walk_remote_steps: u8,
 }
 
 impl IbsSample {
@@ -213,6 +217,7 @@ impl IbsSampler {
                     PageSize::Size2M => 1,
                     PageSize::Size1G => 2,
                 });
+                e.u8(s.walk_remote_steps);
             });
         });
         e.u64(self.taken);
@@ -240,6 +245,7 @@ impl IbsSampler {
                     2 => PageSize::Size1G,
                     t => panic!("ckpt: invalid PageSize tag {t}"),
                 },
+                walk_remote_steps: d.u8(),
             });
         }
         self.taken = d.u64();
@@ -273,6 +279,7 @@ mod tests {
             from_dram: true,
             is_store: false,
             page_size: PageSize::Size2M,
+            walk_remote_steps: 0,
         }
     }
 
@@ -339,6 +346,7 @@ mod tests {
             from_dram: true,
             is_store: false,
             page_size: PageSize::Size2M,
+            walk_remote_steps: 0,
         };
         assert_eq!(s.page_4k(), 0x20_1000);
         assert_eq!(s.page_base(), 0x20_0000);

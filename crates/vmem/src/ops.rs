@@ -34,6 +34,11 @@ pub struct OpCostModel {
     pub collapse_fixed: u64,
     /// Cost per core of a TLB shootdown IPI.
     pub shootdown_per_core: u64,
+    /// Cost per replica copy of propagating one structural page-table
+    /// write when the written table is replicated (the Mitosis write
+    /// fanout: a PTE install/rewrite must reach every node's copy). Zero
+    /// fanout — no replicas — charges nothing.
+    pub table_replica_write: u64,
 }
 
 impl Default for OpCostModel {
@@ -47,7 +52,16 @@ impl Default for OpCostModel {
             split_fixed: 9000,
             collapse_fixed: 14000,
             shootdown_per_core: 40,
+            table_replica_write: 150,
         }
+    }
+}
+
+impl OpCostModel {
+    /// Cost of propagating one structural table write to `copies` replica
+    /// frames (zero when the table is unreplicated).
+    pub fn table_write_fanout(&self, copies: usize) -> OpCost {
+        self.table_replica_write * copies as u64
     }
 }
 

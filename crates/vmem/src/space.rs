@@ -4,8 +4,8 @@ use crate::addr::{PhysAddr, VirtAddr, PAGE_1G, PAGE_2M, PAGE_4K};
 use crate::error::VmemError;
 use crate::frame::{FrameAllocator, FrameError};
 use crate::ops::{OpCost, OpCostModel};
-use crate::replica::ReplicaTable;
-use crate::table::{Mapping, PageSize, PageTable, TableError, WalkCache, WalkResult};
+use crate::replica::{ReplicaTable, TableReplicas};
+use crate::table::{Mapping, PageSize, PageTable, TableError, WalkCache, WalkResult, WalkStep};
 use crate::tlb::TlbConfig;
 use numa_topology::{MachineSpec, NodeId};
 use serde::{Deserialize, Serialize};
@@ -143,6 +143,10 @@ pub struct VmemStats {
     pub replica_collapses: u64,
     /// Bytes copied by migrations and collapses.
     pub bytes_copied: u64,
+    /// Page-table frames replicated onto other nodes (Mitosis).
+    pub table_replications: u64,
+    /// Page-table frames migrated toward their walkers (numaPTE).
+    pub table_migrations: u64,
 }
 
 /// The outcome of a successful demand fault.
@@ -208,6 +212,13 @@ pub struct AddressSpace {
     /// Read-only replicas of 4 KiB pages (the optional Carrefour
     /// replication extension).
     replicas: ReplicaTable,
+    /// Per-node replicas of page-table frames (the Mitosis mechanism).
+    table_replicas: TableReplicas,
+    /// When nonzero, every newly created table frame is eagerly replicated
+    /// onto all `eager_table_nodes` nodes (set by
+    /// [`AddressSpace::replicate_tables`], persisted so faults after the
+    /// initial sweep stay covered).
+    eager_table_nodes: usize,
 }
 
 impl AddressSpace {
@@ -239,6 +250,8 @@ impl AddressSpace {
             scan_cursor: 0,
             no_promote: std::collections::BTreeSet::new(),
             replicas: ReplicaTable::new(),
+            table_replicas: TableReplicas::new(),
+            eager_table_nodes: 0,
         })
     }
 
@@ -297,6 +310,139 @@ impl AddressSpace {
     /// Number of currently replicated pages.
     pub fn replicated_pages(&self) -> usize {
         self.replicas.replicated_pages()
+    }
+
+    /// Whether any page-table frame is replicated (hot-path fast check
+    /// before per-step walk resolution).
+    #[inline]
+    pub fn has_table_replicas(&self) -> bool {
+        self.table_replicas.any()
+    }
+
+    /// Number of table frames that currently carry replicas.
+    pub fn replicated_table_frames(&self) -> usize {
+        self.table_replicas.replicated_tables()
+    }
+
+    /// Resolves one walk step for a walker on `node`: when the referenced
+    /// table frame has a replica on `node`, the step reads the local copy
+    /// (same entry offset, local frame, local home); otherwise the primary.
+    #[inline]
+    pub fn resolve_table_step(&self, step: WalkStep, node: NodeId) -> WalkStep {
+        match self.table_replicas.resolve_step(step.pte_addr, node) {
+            Some(pte_addr) => WalkStep { pte_addr, node },
+            None => step,
+        }
+    }
+
+    /// Write-fanout cost of one structural table write at `vaddr`: the
+    /// per-copy charge times the replica count of the table the write
+    /// lands in. Zero whenever no table is replicated — existing policies
+    /// pay nothing.
+    fn table_fanout_cost(&self, vaddr: VirtAddr) -> OpCost {
+        if !self.table_replicas.any() {
+            return 0;
+        }
+        let table = self.table.deepest_table_frame(vaddr);
+        self.costs
+            .table_write_fanout(self.table_replicas.copies_of(table))
+    }
+
+    /// Replicates every table frame created since `arena_before` onto all
+    /// eager nodes (no-op unless eager replication is on). Alloc failures
+    /// skip the node — the walk simply keeps reading the primary there.
+    fn replicate_new_tables(&mut self, arena_before: usize) -> OpCost {
+        if self.eager_table_nodes == 0 {
+            return 0;
+        }
+        let mut cost: OpCost = 0;
+        for idx in arena_before..self.table.arena_len() {
+            let (base, home) = self.table.table_frame(idx);
+            for n in 0..self.eager_table_nodes {
+                let node = NodeId::from(n);
+                if node == home {
+                    continue;
+                }
+                let Ok(frame) = self.frames.alloc(node, PageSize::Size4K) else {
+                    continue;
+                };
+                self.table_replicas.add(base, node, frame);
+                self.stats.table_replications += 1;
+                self.stats.bytes_copied += PAGE_4K;
+                cost += self.costs.migrate(PageSize::Size4K, 0);
+            }
+        }
+        cost
+    }
+
+    /// Eagerly replicates every root-reachable page-table frame onto each
+    /// of the machine's `num_nodes` nodes and turns on eager replication
+    /// for tables created later (Mitosis). Frames are allocated strictly
+    /// on the replica's node; a node with no free frame is skipped and
+    /// retried on the next call. Returns `(copies created, cycles)`.
+    pub fn replicate_tables(&mut self, num_nodes: usize) -> (u64, OpCost) {
+        self.eager_table_nodes = num_nodes;
+        let mut created: u64 = 0;
+        let mut cost: OpCost = 0;
+        for (base, home) in self.table.reachable_table_frames() {
+            for n in 0..num_nodes {
+                let node = NodeId::from(n);
+                if node == home || self.table_replicas.resolve_step(base, node).is_some() {
+                    continue;
+                }
+                let Ok(frame) = self.frames.alloc(node, PageSize::Size4K) else {
+                    continue;
+                };
+                self.table_replicas.add(base, node, frame);
+                self.stats.table_replications += 1;
+                self.stats.bytes_copied += PAGE_4K;
+                created += 1;
+                cost += self.costs.migrate(PageSize::Size4K, 0);
+            }
+        }
+        (created, cost)
+    }
+
+    /// Migrates the deepest non-root table page on the walk path of
+    /// `vaddr` to `target` (numaPTE): the PTE page moves toward its
+    /// walkers, the translations it holds stay put. A table already homed
+    /// on `target` is a free no-op. Replicas of the old frame (if any) are
+    /// torn down — the primary moved under them.
+    ///
+    /// Returns `(Some(old_home), cycles)` when the table moved, `(None, 0)`
+    /// when it was already on `target`; the caller must flush walk caches
+    /// via the generation bump this performs (and need not shoot down data
+    /// TLBs — leaf translations are unchanged).
+    pub fn migrate_table(
+        &mut self,
+        vaddr: VirtAddr,
+        target: NodeId,
+    ) -> Result<(Option<NodeId>, OpCost), SpaceError> {
+        // Locate the deepest table without mutating: rehome wants a fresh
+        // frame on `target` first, and allocation may fail.
+        let probe = self.table.walk(vaddr);
+        if probe.steps().len() < 2 {
+            return Err(SpaceError::NotMapped);
+        }
+        let deepest = *probe.steps().last().unwrap();
+        if deepest.node == target {
+            return Ok((None, 0));
+        }
+        let new_frame = self.frames.alloc(target, PageSize::Size4K)?;
+        let (old_base, old_node) = self
+            .table
+            .rehome_deepest_table(vaddr, new_frame, target)
+            .inspect_err(|_| self.frames.free(new_frame, PageSize::Size4K))?;
+        self.frames.free(old_base, PageSize::Size4K);
+        for (_, frame) in self.table_replicas.remove(old_base) {
+            self.frames.free(frame, PageSize::Size4K);
+        }
+        self.stats.table_migrations += 1;
+        self.stats.bytes_copied += PAGE_4K;
+        Ok((
+            Some(old_node),
+            self.costs.migrate(PageSize::Size4K, self.total_cores),
+        ))
     }
 
     /// Replicates the 4 KiB page covering `vaddr` onto every node that
@@ -393,6 +539,7 @@ impl AddressSpace {
         if self.table.translate(vaddr).is_some() {
             return Err(SpaceError::AlreadyMapped);
         }
+        let arena_before = self.table.arena_len();
 
         let mut candidates: Vec<PageSize> = Vec::with_capacity(3);
         if self.thp.alloc_1g {
@@ -462,9 +609,15 @@ impl AddressSpace {
                 PageSize::Size2M => self.stats.faults_2m += 1,
                 PageSize::Size1G => self.stats.faults_1g += 1,
             }
+            // Under eager table replication (Mitosis), tables created for
+            // this fault gain per-node copies, and the PTE install itself
+            // fans out to every copy of the table it lands in. Both terms
+            // are zero for every non-Mitosis configuration.
+            let replicate = self.replicate_new_tables(arena_before);
+            let fanout = self.table_fanout_cost(vaddr);
             return Ok(FaultOutcome {
                 mapping,
-                cycles: self.costs.fault(size, 0),
+                cycles: self.costs.fault(size, 0) + replicate + fanout,
             });
         }
         Err(SpaceError::NoRegion)
@@ -496,13 +649,21 @@ impl AddressSpace {
             _ => self.stats.migrations_2m += 1,
         }
         self.stats.bytes_copied += m.size.bytes();
-        Ok((old, self.costs.migrate(m.size, self.total_cores)))
+        // The PTE rewrite fans out to every replica of the holding table.
+        let fanout = self.table_fanout_cost(m.vbase);
+        Ok((old, self.costs.migrate(m.size, self.total_cores) + fanout))
     }
 
     /// Splits the huge or giant page covering `vaddr` into 512 pages of the
     /// next smaller size (no copy). Returns the pre-split mapping and the
     /// cycles consumed; the caller must shoot down TLB entries for it.
     pub fn split(&mut self, vaddr: VirtAddr) -> Result<(Mapping, OpCost), SpaceError> {
+        // The split rewrites an entry in the deepest pre-split table: that
+        // write fans out to the table's replicas, and the fresh child
+        // table gains eager replicas of its own (both zero unless table
+        // replication is on).
+        let parent_fanout = self.table_fanout_cost(vaddr);
+        let arena_before = self.table.arena_len();
         let old = self.table.split(vaddr, &mut self.frames)?;
         self.stats.splits += 1;
         // A deliberately-split page must not be immediately re-collapsed by
@@ -510,7 +671,11 @@ impl AddressSpace {
         if old.size == PageSize::Size2M {
             self.no_promote.insert(old.vbase.0);
         }
-        Ok((old, self.costs.split(self.total_cores)))
+        let replicate = self.replicate_new_tables(arena_before);
+        Ok((
+            old,
+            self.costs.split(self.total_cores) + parent_fanout + replicate,
+        ))
     }
 
     /// Collapses the 2 MiB-aligned run of 512 small pages at `vbase` into
@@ -531,9 +696,15 @@ impl AddressSpace {
                     self.frames.free(m.frame, m.size);
                 }
                 self.frames.free(out.table_frame, PageSize::Size4K);
+                // The retired PT's replicas die with it, and the huge-leaf
+                // install fans out to the parent table's replicas.
+                for (_, frame) in self.table_replicas.remove(out.table_frame) {
+                    self.frames.free(frame, PageSize::Size4K);
+                }
+                let fanout = self.table_fanout_cost(vbase);
                 self.stats.collapses += 1;
                 self.stats.bytes_copied += PAGE_2M;
-                Ok(self.costs.collapse(PageSize::Size2M, self.total_cores))
+                Ok(self.costs.collapse(PageSize::Size2M, self.total_cores) + fanout)
             }
             Err(e) => {
                 self.frames.free(new_frame, PageSize::Size2M);
@@ -691,6 +862,10 @@ impl AddressSpace {
         e.u64(self.scan_cursor);
         e.seq(self.no_promote.iter(), |e, &b| e.u64(b));
         self.replicas.save_into(e);
+        e.u64(self.stats.table_replications);
+        e.u64(self.stats.table_migrations);
+        e.usize(self.eager_table_nodes);
+        self.table_replicas.save_into(e);
     }
 
     /// Restores state captured by [`AddressSpace::save_into`] onto a space
@@ -719,6 +894,10 @@ impl AddressSpace {
         self.scan_cursor = d.u64();
         self.no_promote = d.seq(|d| d.u64()).into_iter().collect();
         self.replicas.load_from(d);
+        self.stats.table_replications = d.u64();
+        self.stats.table_migrations = d.u64();
+        self.eager_table_nodes = d.usize();
+        self.table_replicas.load_from(d);
     }
 
     /// Walks every structural invariant tying the page table, the replica
@@ -796,6 +975,42 @@ impl AddressSpace {
                 )));
             }
             intervals.push((frame.0, PAGE_4K, "table"));
+        }
+
+        // Table-page node invariants: every table-replica set must hang
+        // off a *root-reachable* primary frame (a replica of a retired
+        // table is a dangling allocation), and each replica frame must
+        // live on the node it claims to serve.
+        let reachable: std::collections::BTreeSet<u64> = self
+            .table
+            .reachable_table_frames()
+            .iter()
+            .map(|(f, _)| f.0)
+            .collect();
+        let mut table_replica_err: Option<VmemError> = None;
+        self.table_replicas.for_each_frame(|primary, node, frame| {
+            if table_replica_err.is_some() {
+                return;
+            }
+            if !reachable.contains(&primary.0) {
+                table_replica_err = Some(VmemError::Invariant(format!(
+                    "table replica of {primary} dangles: the primary table \
+                     frame is not root-reachable"
+                )));
+                return;
+            }
+            if self.frames.node_of(frame) != node {
+                table_replica_err = Some(VmemError::Invariant(format!(
+                    "table replica frame {frame} claims {node} but belongs \
+                     to {}",
+                    self.frames.node_of(frame)
+                )));
+                return;
+            }
+            intervals.push((frame.0, PAGE_4K, "table-replica"));
+        });
+        if let Some(e) = table_replica_err {
+            return Err(e);
         }
 
         let mut replica_err: Option<VmemError> = None;
@@ -1203,6 +1418,99 @@ mod tests {
             PageSize::Size2M
         );
         s.validate().unwrap();
+    }
+
+    #[test]
+    fn replicate_tables_localizes_every_walk_step() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        for i in 0..16u64 {
+            s.fault(VirtAddr(BASE + i * PAGE_4K), NodeId(0)).unwrap();
+        }
+        let (created, cost) = s.replicate_tables(2);
+        assert!(created > 0);
+        assert!(cost > 0);
+        assert!(s.has_table_replicas());
+        s.validate().unwrap();
+        // Every step of a node-1 walk now resolves to a node-1 frame.
+        let w = s.walk(VirtAddr(BASE));
+        for step in w.steps() {
+            let local = s.resolve_table_step(*step, NodeId(1));
+            assert_eq!(local.node, NodeId(1), "step {:?} stayed remote", step);
+            // ...while the primary keeps answering for its own node.
+            let home = s.resolve_table_step(*step, step.node);
+            assert_eq!(home.pte_addr, step.pte_addr);
+        }
+        // Idempotent: a second sweep creates nothing new.
+        let (again, _) = s.replicate_tables(2);
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn eager_replication_covers_tables_created_by_later_faults() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 64 << 20).unwrap();
+        s.fault(VirtAddr(BASE), NodeId(0)).unwrap();
+        let plain_fault = s.fault(VirtAddr(BASE + PAGE_4K), NodeId(0)).unwrap();
+        s.replicate_tables(2);
+        // A fault in a fresh 2 MiB region creates a new PT — it must be
+        // replicated too, and the fault pays for it (replica copy + PTE
+        // write fanout), so it costs more than a plain fault.
+        let far = BASE + 8 * PAGE_2M;
+        let f = s.fault(VirtAddr(far), NodeId(0)).unwrap();
+        assert!(f.cycles > plain_fault.cycles);
+        s.validate().unwrap();
+        let w = s.walk(VirtAddr(far));
+        let last = *w.steps().last().unwrap();
+        assert_eq!(
+            s.resolve_table_step(last, NodeId(1)).node,
+            NodeId(1),
+            "the PT created after the sweep is replicated"
+        );
+    }
+
+    #[test]
+    fn collapse_tears_down_the_retired_tables_replicas() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        for i in 0..512u64 {
+            s.fault(VirtAddr(BASE + i * PAGE_4K), NodeId(1)).unwrap();
+        }
+        s.replicate_tables(2);
+        let before = s.replicated_table_frames();
+        s.thp_mut().promote_2m = true;
+        let (collapsed, _) = s.promotion_scan(16);
+        assert_eq!(collapsed, vec![VirtAddr(BASE)]);
+        assert_eq!(
+            s.replicated_table_frames(),
+            before - 1,
+            "the retired PT's replica set must die with it"
+        );
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn migrate_table_moves_the_pt_without_touching_leaves() {
+        let mut s = space_small_pages();
+        s.map_region(BASE, 4 << 20).unwrap();
+        for i in 0..8u64 {
+            s.fault(VirtAddr(BASE + i * PAGE_4K), NodeId(0)).unwrap();
+        }
+        let leaves_before = s.leaves();
+        let home_before = *s.walk(VirtAddr(BASE)).steps().last().unwrap();
+        assert_eq!(home_before.node, NodeId(0));
+        let (moved, cost) = s.migrate_table(VirtAddr(BASE), NodeId(1)).unwrap();
+        assert_eq!(moved, Some(NodeId(0)));
+        assert!(cost > 0);
+        let home_after = *s.walk(VirtAddr(BASE)).steps().last().unwrap();
+        assert_eq!(home_after.node, NodeId(1));
+        assert_eq!(s.leaves(), leaves_before, "translations unchanged");
+        assert_eq!(s.stats().table_migrations, 1);
+        s.validate().unwrap();
+        // Already home: free no-op.
+        let (moved, cost) = s.migrate_table(VirtAddr(BASE), NodeId(1)).unwrap();
+        assert_eq!(moved, None);
+        assert_eq!(cost, 0);
     }
 
     #[test]

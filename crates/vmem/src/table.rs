@@ -215,10 +215,12 @@ pub struct PageTable {
     table_bytes: u64,
     /// Bumped by every structural change that can invalidate a
     /// [`WalkCache`] entry: split (leaf → table), collapse (table → leaf),
-    /// and remap (a leaf's frame/node rewritten in place). `map` never
-    /// bumps it — installing a new leaf only fills a previously-empty slot,
-    /// which no cached entry can refer to (4 KiB leaves are looked up live
-    /// through the cached PT node).
+    /// remap (a leaf's frame/node rewritten in place), and rehome (a table
+    /// page migrated to another node — cached upper-level steps record the
+    /// old frame and home, so they would silently charge walk traffic to
+    /// the wrong node). `map` never bumps it — installing a new leaf only
+    /// fills a previously-empty slot, which no cached entry can refer to
+    /// (4 KiB leaves are looked up live through the cached PT node).
     generation: u64,
 }
 
@@ -913,6 +915,78 @@ impl PageTable {
         self.generation = d.u64();
     }
 
+    /// Number of arena slots ever created (including slots abandoned by
+    /// collapse). New table nodes always append, so a caller can snapshot
+    /// this before an operation and inspect exactly the nodes it created.
+    #[inline]
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The frame base and home node of the arena slot at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn table_frame(&self, idx: usize) -> (PhysAddr, NodeId) {
+        let t = &self.arena[idx];
+        (t.base, t.node)
+    }
+
+    /// The frame base of the deepest table node traversed when walking
+    /// `vaddr` — the table a leaf install/rewrite at `vaddr` structurally
+    /// writes (used to charge the replica write-fanout cost).
+    pub fn deepest_table_frame(&self, vaddr: VirtAddr) -> PhysAddr {
+        let mut node = ROOT;
+        for level in 0..4 {
+            let idx = level_index(vaddr, level);
+            match self.arena[node as usize].entries.get(&idx) {
+                Some(Entry::Table(next)) => node = *next,
+                _ => break,
+            }
+        }
+        self.arena[node as usize].base
+    }
+
+    /// Migrates the deepest *non-root* table node on the walk path of
+    /// `vaddr` into the caller-provided frame `new_base` on `new_node`
+    /// (the numaPTE mechanism: the PTE page moves toward the walker; the
+    /// translations it holds do not change). Returns the old frame and
+    /// home so the caller can free the frame.
+    ///
+    /// Bumps the structural generation: [`WalkCache`] entries memoize the
+    /// upper-level steps *including* each table's frame address and home
+    /// node, so a rehome with a stale cache would keep charging walk
+    /// traffic to the old node forever — the exact silent-staleness hazard
+    /// the walk-cycle test battery pins down.
+    pub fn rehome_deepest_table(
+        &mut self,
+        vaddr: VirtAddr,
+        new_base: PhysAddr,
+        new_node: NodeId,
+    ) -> Result<(PhysAddr, NodeId), TableError> {
+        let mut node = ROOT;
+        for level in 0..4 {
+            let idx = level_index(vaddr, level);
+            match self.arena[node as usize].entries.get(&idx) {
+                Some(Entry::Table(next)) => node = *next,
+                _ => break,
+            }
+        }
+        if node == ROOT {
+            // Nothing below the root on this path; the PGD never moves
+            // (every walk starts there — it has no single "walking node").
+            return Err(TableError::NotMappedAsExpected);
+        }
+        let t = &mut self.arena[node as usize];
+        let old = (t.base, t.node);
+        t.base = new_base;
+        t.node = new_node;
+        self.generation += 1;
+        Ok(old)
+    }
+
     /// Physical frames of every table node *reachable from the root*, with
     /// the node hosting each. Collapse abandons its child's arena slot
     /// (the slot stays, its frame is freed), so the arena itself
@@ -1283,6 +1357,60 @@ mod tests {
         assert_eq!(m.size, PageSize::Size2M);
         assert_eq!(m.node, NodeId(1));
         assert_walk_equal(&t, &mut cache, 0x4000_1000);
+    }
+
+    #[test]
+    fn walk_cache_invalidated_on_table_rehome() {
+        // The satellite-4 hazard: migrating a table page changes nothing
+        // the walk *resolves* (same translations), only where the walk
+        // *pays* — cached upper-level steps memoize the old frame address
+        // and home node, so without a generation bump every subsequent
+        // cached walk would keep charging the old node.
+        let (mut f, mut t) = setup();
+        map4k(&mut t, &mut f, 0x4000_0000, NodeId(0));
+        let mut cache = WalkCache::new();
+        assert_walk_equal(&t, &mut cache, 0x4000_0000);
+        let gen_before = t.generation();
+        let new_frame = f.alloc(NodeId(1), PageSize::Size4K).unwrap();
+        let (old_base, old_node) = t
+            .rehome_deepest_table(VirtAddr(0x4000_0000), new_frame, NodeId(1))
+            .unwrap();
+        assert_eq!(old_node, NodeId(0));
+        f.free(old_base, PageSize::Size4K);
+        assert!(
+            t.generation() > gen_before,
+            "a table rehome must bump the generation — cached steps hold \
+             the old frame and home node"
+        );
+        // The cached walk reflects the new home at the rehomed level.
+        let w = t.walk_cached(VirtAddr(0x4000_0000), &mut cache);
+        let last = *w.steps().last().unwrap();
+        assert_eq!(last.node, NodeId(1));
+        assert_eq!(last.pte_addr.0 & !(PAGE_4K - 1), new_frame.0);
+        assert_walk_equal(&t, &mut cache, 0x4000_0000);
+    }
+
+    #[test]
+    fn rehome_refuses_a_root_only_path() {
+        let (mut f, mut t) = setup();
+        let frame = f.alloc(NodeId(1), PageSize::Size4K).unwrap();
+        // Nothing mapped: the only table on the path is the PML4.
+        assert_eq!(
+            t.rehome_deepest_table(VirtAddr(0x7000_0000), frame, NodeId(1))
+                .unwrap_err(),
+            TableError::NotMappedAsExpected
+        );
+    }
+
+    #[test]
+    fn deepest_table_frame_tracks_the_leaf_holder() {
+        let (mut f, mut t) = setup();
+        map4k(&mut t, &mut f, 0x4000_0000, NodeId(0));
+        let deepest = t.deepest_table_frame(VirtAddr(0x4000_0000));
+        // It is the PT node: the 4th step of a walk lands inside it.
+        let w = t.walk(VirtAddr(0x4000_0000));
+        let last = w.steps().last().unwrap();
+        assert_eq!(last.pte_addr.0 & !(PAGE_4K - 1), deepest.0);
     }
 
     #[test]

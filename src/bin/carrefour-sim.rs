@@ -12,7 +12,7 @@
 //! machine/bench/policy, missing value) prints usage and exits 2. Same
 //! arguments → byte-identical output, including `--json`.
 
-use carrefour::{Carrefour, CarrefourLp};
+use carrefour::{Carrefour, CarrefourLp, Mitosis, NumaPte};
 use engine::{FaultConfig, NullPolicy, NumaPolicy, SimConfig, SimResult, Simulation};
 use numa_topology::MachineSpec;
 use std::process::ExitCode;
@@ -28,6 +28,8 @@ const POLICIES: &[&str] = &[
     "reactive",
     "carrefour-lp",
     "carrefour-lp-noretry",
+    "mitosis",
+    "numapte",
     "linux-1g",
     "carrefour-lp-1g",
 ];
@@ -78,6 +80,8 @@ fn make_policy(name: &str) -> Option<(Box<dyn NumaPolicy>, ThpControls)> {
         "reactive" => (Box::new(CarrefourLp::reactive_only()), ThpControls::thp()),
         "carrefour-lp" => (Box::new(CarrefourLp::new()), ThpControls::thp()),
         "carrefour-lp-noretry" => (Box::new(CarrefourLp::without_retries()), ThpControls::thp()),
+        "mitosis" => (Box::new(Mitosis::new()), ThpControls::small_only()),
+        "numapte" => (Box::new(NumaPte::new()), ThpControls::small_only()),
         "linux-1g" => (Box::new(NullPolicy), ThpControls::giant()),
         "carrefour-lp-1g" => (Box::new(CarrefourLp::new()), ThpControls::giant()),
         _ => return None,
@@ -106,6 +110,7 @@ fn print_json(r: &SimResult) {
          \"runtime_cycles\":{},\"runtime_ms\":{:.6},\"lar\":{:.6},\
          \"imbalance\":{:.6},\"walk_miss_fraction\":{:.6},\
          \"fault_cycles\":{},\"splits\":{},\"migrations_4k\":{},\
+         \"table_replications\":{},\"table_migrations\":{},\
          \"robustness\":{{\"failed_migrations\":{},\"failed_splits\":{},\
          \"failed_replications\":{},\"fallback_allocs\":{},\
          \"busy_rejections\":{},\"dropped_samples\":{},\
@@ -121,6 +126,8 @@ fn print_json(r: &SimResult) {
         r.lifetime.total_fault_cycles,
         r.lifetime.vmem.splits,
         r.lifetime.vmem.migrations_4k,
+        r.lifetime.vmem.table_replications,
+        r.lifetime.vmem.table_migrations,
         rb.failed_migrations,
         rb.failed_splits,
         rb.failed_replications,

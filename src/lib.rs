@@ -30,7 +30,10 @@ pub use workloads;
 pub mod prelude {
     //! Everything a simulation driver typically needs, one import away.
 
-    pub use carrefour::{Carrefour, CarrefourConfig, CarrefourLp, LpThresholds, RobustnessConfig};
+    pub use carrefour::{
+        Carrefour, CarrefourConfig, CarrefourLp, LpThresholds, Mitosis, NumaPte, NumaPteConfig,
+        RobustnessConfig,
+    };
     pub use engine::{
         ActionError, Checkpoint, CheckpointError, CountingSink, DigestSink, EpochCtx, EpochDigest,
         EpochRecord, EpochSnap, EventKind, FailedAction, FaultConfig, FaultRates, JsonlSink,

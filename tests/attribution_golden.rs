@@ -1,8 +1,8 @@
 //! Attribution over the golden cells: conservation and non-perturbation.
 //!
 //! Tier-1 guarantee for the cycle-attribution ledger (DESIGN.md §11),
-//! checked on all six pinned golden configurations (UA.B and CG.D under
-//! Linux, THP, and Carrefour-LP on machine A):
+//! checked on all ten pinned golden configurations (UA.B and CG.D under
+//! Linux, THP, Carrefour-LP, Mitosis, and numaPTE on machine A):
 //!
 //! 1. **Conservation** — with attribution on, the ledger's buckets sum
 //!    to `runtime_cycles` exactly, as integers, and every epoch's wall
@@ -12,9 +12,10 @@
 //!    changes no event, no counter, no cycle of any existing output.
 
 use carrefour_bench::golden::{golden_dir, GOLDEN_CELLS};
-use carrefour_bench::runner;
+use carrefour_bench::{attrib, runner, PolicyKind};
 use engine::{DigestSink, SimConfig, Simulation, TraceDigest};
 use numa_topology::MachineSpec;
+use workloads::Benchmark;
 
 #[test]
 fn attributed_golden_runs_conserve_and_match_digests() {
@@ -66,5 +67,44 @@ fn attributed_golden_runs_conserve_and_match_digests() {
                  run's digest no longer matches the checked-in golden:\n{diff}"
             );
         }
+    }
+}
+
+/// The Mitosis acceptance bar (DESIGN.md §13): on the golden benchmarks,
+/// the explain pipeline must attribute at least 90 % of the cycles
+/// Mitosis *saves* relative to Linux to the remote-page-walk cause group
+/// — replicating tables buys local walks and essentially nothing else.
+#[test]
+fn mitosis_delta_is_attributed_to_remote_walks() {
+    let machine = MachineSpec::machine_a();
+    for bench in [Benchmark::UaB, Benchmark::CgD] {
+        let run = |kind: PolicyKind| {
+            let mut config = SimConfig::for_machine(&machine, kind.initial_thp());
+            config.attribution = true;
+            let spec = bench.spec(&machine);
+            let r = Simulation::run(&machine, &spec, &config, kind.make().as_mut());
+            r.attribution.expect("ledger on").total
+        };
+        let linux = run(PolicyKind::Linux4k);
+        let mitosis = run(PolicyKind::Mitosis);
+        let groups = attrib::cause_groups(&linux, &mitosis);
+        let savings: i128 = groups.iter().map(|g| g.delta().min(0)).sum();
+        let remote = groups
+            .iter()
+            .find(|g| g.name.contains("remote page walks"))
+            .unwrap_or_else(|| panic!("no remote-walk cause group in {groups:?}"));
+        assert!(
+            remote.delta() < 0,
+            "{}: Mitosis must cut remote walk cycles (delta {})",
+            bench.name(),
+            remote.delta()
+        );
+        assert!(
+            remote.delta() * 10 <= savings * 9,
+            "{}: remote walks account for {} of {} saved cycles (< 90%)",
+            bench.name(),
+            -remote.delta(),
+            -savings
+        );
     }
 }
