@@ -94,10 +94,15 @@ fn main() {
     };
     let mut filled: Vec<Option<TimedCell>> = keys
         .iter()
-        .map(|k| {
+        .enumerate()
+        .map(|(i, k)| {
             journaled.remove(k).map(|j| TimedCell {
                 cell: j.cell,
                 wall_secs: j.wall_secs,
+                // The journal stores results, not scheduler metadata;
+                // the estimate is a pure function of the spec, so
+                // recomputing it here keeps restored rows honest.
+                estimated_ops: unique[i].estimated_ops(),
             })
         })
         .collect();
@@ -399,7 +404,11 @@ fn write_bench_runner_json(
 ) {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"bench-runner-v2\",\n");
+    out.push_str("  \"schema\": \"bench-runner-v3\",\n");
+    out.push_str(&format!(
+        "  \"shards\": \"{}\",\n",
+        esc(&std::env::var("CARREFOUR_SHARDS").unwrap_or_else(|_| "auto".into()))
+    ));
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str(&format!("  \"total_wall_secs\": {total_wall_secs:.3},\n"));
@@ -429,11 +438,13 @@ fn write_bench_runner_json(
     out.push_str("  \"cells\": [\n");
     for (i, t) in timed.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"machine\": \"{}\", \"benchmark\": \"{}\", \"policy\": \"{}\", \"wall_secs\": {:.3}}}{}\n",
+            "    {{\"machine\": \"{}\", \"benchmark\": \"{}\", \"policy\": \"{}\", \"wall_secs\": {:.3}, \"estimated_ops\": {}, \"actual_ops\": {}}}{}\n",
             esc(&t.cell.machine),
             esc(&t.cell.benchmark),
             esc(&t.cell.policy),
             t.wall_secs,
+            t.estimated_ops,
+            t.cell.result.lifetime.total_ops,
             if i + 1 < timed.len() { "," } else { "" }
         ));
     }

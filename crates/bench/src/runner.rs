@@ -127,6 +127,18 @@ impl CellSpec {
             self.faults
         )
     }
+
+    /// Estimated simulated memory operations this cell will execute:
+    /// allocation-phase ops (one per 4 KiB page of the footprint) plus
+    /// compute ops (`ops_per_round × threads × rounds`). Drives the
+    /// longest-first schedule and the estimate-vs-actual columns of
+    /// `BENCH_runner.json`; purely observational — scheduling never
+    /// changes what a cell computes.
+    pub fn estimated_ops(&self) -> u64 {
+        let spec = self.workload.spec(&self.machine);
+        spec.footprint_pages()
+            + spec.ops_per_round * spec.threads as u64 * u64::from(spec.total_compute_rounds())
+    }
 }
 
 /// Runs one cell spec. Identical to [`run_cell`] for plain cells; seed
@@ -280,9 +292,43 @@ where
     F: Fn(usize) -> T + Sync,
     D: Fn(usize) -> String + Sync,
 {
+    par_map_outcomes_scheduled(jobs, n, deadline_secs, None, describe, f)
+}
+
+/// [`par_map_outcomes`] with an explicit execution order: workers pull
+/// indices from `schedule` (a permutation of `0..n`) front to back
+/// instead of `0, 1, 2, …`. Results still land **in index order** —
+/// scheduling only decides where and when each index runs, never what it
+/// computes, so any schedule returns bit-identical results (the
+/// longest-first proptest in `tests/runner_equivalence.rs` enforces
+/// this).
+///
+/// This is also where the engine's shard-lane pool is wired up
+/// (`engine::lanes`, DESIGN.md §14): host cores the pool is not using as
+/// workers (`jobs > n`) are offered as shard lanes up front, and each
+/// worker donates its own slot when the queue runs dry — so cells that
+/// *start* near the end of a suite widen across the cores that just went
+/// idle.
+pub fn par_map_outcomes_scheduled<T, F, D>(
+    jobs: usize,
+    n: usize,
+    deadline_secs: f64,
+    schedule: Option<Vec<usize>>,
+    describe: D,
+    f: F,
+) -> Vec<CellOutcome<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    D: Fn(usize) -> String + Sync,
+{
     use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::AtomicBool;
     use std::sync::Mutex;
+
+    if let Some(order) = &schedule {
+        debug_assert_eq!(order.len(), n, "schedule must cover every index");
+    }
 
     // Start timestamps of in-flight jobs, for the watchdog.
     let started: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -310,8 +356,17 @@ where
     };
 
     let workers = jobs.max(1).min(n);
+    // Worker slots the caller granted but this queue cannot use become
+    // shard lanes: a 1-cell suite at `--jobs 8` runs that cell 8-wide.
+    engine::lanes::configure(jobs.max(1) - workers);
     if workers <= 1 {
-        return (0..n).map(run_one).collect();
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let i = schedule.as_ref().map_or(k, |o| o[k]);
+            out.push((i, run_one(i)));
+        }
+        out.sort_by_key(|(i, _)| *i);
+        return out.into_iter().map(|(_, o)| o).collect();
     }
     let next = AtomicUsize::new(0);
     let mut chunks: Vec<Vec<(usize, CellOutcome<T>)>> = std::thread::scope(|s| {
@@ -349,13 +404,18 @@ where
             .map(|_| {
                 let next = &next;
                 let run_one = &run_one;
+                let schedule = &schedule;
                 s.spawn(move || {
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= n {
+                            // Queue drained: this worker's slot becomes a
+                            // shard lane for cells still starting up.
+                            engine::lanes::donate(1);
                             return out;
                         }
+                        let i = schedule.as_ref().map_or(k, |o| o[k]);
                         out.push((i, run_one(i)));
                     }
                 })
@@ -425,8 +485,42 @@ pub struct Progress {
     /// Simulated ops completed so far (for the throughput column; cells
     /// report their op count via [`Progress::cell_done_ops`]).
     ops: std::sync::atomic::AtomicU64,
+    /// Estimated ops of the whole suite ([`Progress::expect_ops`]); `0`
+    /// means no estimates were registered and the ETA falls back to
+    /// whole-cell extrapolation.
+    est_total: std::sync::atomic::AtomicU64,
+    /// Estimated ops of completed cells (credited on completion, at the
+    /// cell's *estimate*, so the remaining-work arithmetic stays in one
+    /// currency).
+    est_done: std::sync::atomic::AtomicU64,
+    /// In-flight cells: `(start, estimated_ops)`, slot-indexed by the
+    /// ticket [`Progress::cell_started`] returned. Slots are `None` once
+    /// the cell completes.
+    inflight: std::sync::Mutex<Vec<Option<(Instant, u64)>>>,
     start: Instant,
     quiet: bool,
+}
+
+/// Work-remaining ETA in host seconds. `est_total`/`est_done` are suite
+/// estimates in ops; `inflight` holds `(elapsed_secs, est_ops)` of the
+/// cells currently running. Each in-flight cell is credited with the
+/// progress it would have made at the observed aggregate rate split
+/// evenly across the in-flight cells, capped below its own estimate (a
+/// cell is never credited as finished before it reports done) — so a
+/// suite whose tail is one long cell fanning out over shard lanes stops
+/// reading as "N whole cells to go".
+fn eta_from_ops(est_total: u64, est_done: u64, secs: f64, inflight: &[(f64, u64)]) -> Option<f64> {
+    if est_total == 0 || est_done == 0 || secs <= 0.0 {
+        return None;
+    }
+    let rate = est_done as f64 / secs;
+    let k = inflight.len().max(1) as f64;
+    let credit: f64 = inflight
+        .iter()
+        .map(|&(elapsed, est)| (rate / k * elapsed).min(est as f64 * 0.95))
+        .sum();
+    let remaining = (est_total.saturating_sub(est_done)) as f64 - credit;
+    Some((remaining.max(0.0) / rate).max(0.0))
 }
 
 impl Progress {
@@ -438,9 +532,29 @@ impl Progress {
             total,
             done: AtomicUsize::new(0),
             ops: std::sync::atomic::AtomicU64::new(0),
+            est_total: std::sync::atomic::AtomicU64::new(0),
+            est_done: std::sync::atomic::AtomicU64::new(0),
+            inflight: std::sync::Mutex::new(Vec::new()),
             start: Instant::now(),
             quiet: std::env::var_os("CARREFOUR_QUIET").is_some_and(|v| v == "1"),
         }
+    }
+
+    /// Registers estimated ops of upcoming work (accumulating across
+    /// calls — one reporter often spans several experiment batches),
+    /// switching the ETA from whole-cell extrapolation to work-remaining
+    /// accounting.
+    pub fn expect_ops(&self, est_ops: u64) {
+        self.est_total.fetch_add(est_ops, Ordering::Relaxed);
+    }
+
+    /// Marks one cell as started (`est_ops` is its cost estimate) and
+    /// returns a ticket for [`Progress::cell_done_ticket`]. In-flight
+    /// cells earn partial ETA credit as they run.
+    pub fn cell_started(&self, est_ops: u64) -> usize {
+        let mut v = self.inflight.lock().unwrap();
+        v.push(Some((Instant::now(), est_ops)));
+        v.len() - 1
     }
 
     /// Records one finished cell and prints a progress line.
@@ -448,10 +562,24 @@ impl Progress {
         self.cell_done_ops(what, 0);
     }
 
+    /// [`Progress::cell_done_ops`] for a cell registered with
+    /// [`Progress::cell_started`]: retires its in-flight slot and credits
+    /// its estimate as completed work.
+    pub fn cell_done_ticket(&self, what: &str, ops: u64, ticket: usize) {
+        let est = {
+            let mut v = self.inflight.lock().unwrap();
+            v[ticket].take().map_or(0, |(_, e)| e)
+        };
+        self.est_done.fetch_add(est, Ordering::Relaxed);
+        self.cell_done_ops(what, ops);
+    }
+
     /// Records one finished cell that simulated `ops` memory operations.
     /// The progress line carries cumulative throughput (simulated ops per
-    /// host second, when op counts are reported) and an ETA extrapolated
-    /// from the mean cell cost so far. Output is explicitly flushed so
+    /// host second, when op counts are reported) and an ETA — from
+    /// work-remaining accounting when estimates were registered
+    /// ([`eta_from_ops`]: in-flight shard work earns partial credit), from
+    /// mean whole-cell cost otherwise. Output is explicitly flushed so
     /// piped logs (CI, `tee`) stay live.
     pub fn cell_done_ops(&self, what: &str, ops: u64) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -464,7 +592,21 @@ impl Progress {
                 line.push_str(&format!("  {:.2} Mops/s", total_ops as f64 / secs / 1e6));
             }
             if done < self.total && secs > 0.0 {
-                let eta = secs / done as f64 * (self.total - done) as f64;
+                let inflight: Vec<(f64, u64)> = self
+                    .inflight
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .flatten()
+                    .map(|&(t0, est)| (t0.elapsed().as_secs_f64(), est))
+                    .collect();
+                let eta = eta_from_ops(
+                    self.est_total.load(Ordering::Relaxed),
+                    self.est_done.load(Ordering::Relaxed),
+                    secs,
+                    &inflight,
+                )
+                .unwrap_or_else(|| secs / done as f64 * (self.total - done) as f64);
                 line.push_str(&format!("  eta {eta:.0}s"));
             }
             line.push_str("  ");
@@ -502,27 +644,39 @@ pub struct TimedCell {
     pub cell: Cell,
     /// Host seconds this cell took.
     pub wall_secs: f64,
+    /// The scheduler's a-priori cost estimate ([`CellSpec::estimated_ops`]),
+    /// recorded so `BENCH_runner.json` can report estimate-vs-actual per
+    /// cell.
+    pub estimated_ops: u64,
+}
+
+/// Longest-first execution order over `specs`, by
+/// [`CellSpec::estimated_ops`]. Ties keep submission order (stable sort),
+/// so equal-cost suites behave exactly as before the scheduler existed.
+/// Returns `(schedule, per-cell estimates)`.
+pub fn longest_first_schedule(specs: &[CellSpec]) -> (Vec<usize>, Vec<u64>) {
+    let est: Vec<u64> = specs.iter().map(CellSpec::estimated_ops).collect();
+    let mut order: Vec<usize> = (0..specs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(est[i]));
+    (order, est)
 }
 
 /// Runs every spec on the pool and returns result rows in submission
 /// order, with per-cell wall-clock. `progress` ticks as cells finish.
+/// Cells are *scheduled* longest-estimate-first so a big cell never
+/// starts last and stalls the suite on one worker — results are
+/// bit-identical for any schedule.
 pub fn run_cells_timed(specs: &[CellSpec], jobs: usize, progress: &Progress) -> Vec<TimedCell> {
-    par_map(jobs, specs.len(), |i| {
-        let spec = &specs[i];
-        let t = Instant::now();
-        let result = run_spec(spec);
-        let wall_secs = t.elapsed().as_secs_f64();
-        progress.cell_done_ops(&spec.describe(), result.lifetime.total_ops);
-        TimedCell {
-            cell: Cell {
-                machine: spec.machine.name().to_string(),
-                benchmark: spec.workload.name(),
-                policy: spec.policy_label(),
-                result,
-            },
-            wall_secs,
-        }
-    })
+    run_cells_outcomes(specs, jobs, progress, |_, _| {})
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| match o {
+            CellOutcome::Ok(v) | CellOutcome::TimedOut { result: v, .. } => v,
+            CellOutcome::Panicked { msg } => {
+                panic!("runner cell {i} panicked (remaining cells were allowed to finish): {msg}")
+            }
+        })
+        .collect()
 }
 
 /// Panic-isolating variant of [`run_cells_timed`]: returns one
@@ -541,17 +695,21 @@ pub fn run_cells_outcomes<H>(
 where
     H: Fn(usize, &TimedCell) + Sync,
 {
-    par_map_outcomes(
+    let (schedule, est) = longest_first_schedule(specs);
+    progress.expect_ops(est.iter().sum());
+    par_map_outcomes_scheduled(
         jobs,
         specs.len(),
         cell_deadline_secs(),
+        Some(schedule),
         |i| specs[i].describe(),
         |i| {
             let spec = &specs[i];
+            let ticket = progress.cell_started(est[i]);
             let t = Instant::now();
             let result = run_spec(spec);
             let wall_secs = t.elapsed().as_secs_f64();
-            progress.cell_done_ops(&spec.describe(), result.lifetime.total_ops);
+            progress.cell_done_ticket(&spec.describe(), result.lifetime.total_ops, ticket);
             let timed = TimedCell {
                 cell: Cell {
                     machine: spec.machine.name().to_string(),
@@ -560,6 +718,7 @@ where
                     result,
                 },
                 wall_secs,
+                estimated_ops: est[i],
             };
             on_done(i, &timed);
             timed
@@ -642,6 +801,101 @@ mod tests {
             completed.load(Ordering::Relaxed),
             5,
             "remaining jobs ran to completion before the re-raise"
+        );
+    }
+
+    #[test]
+    fn scheduled_par_map_returns_submission_order_for_any_schedule() {
+        let schedules: Vec<Vec<usize>> = vec![
+            (0..9).collect(),
+            (0..9).rev().collect(),
+            vec![4, 0, 8, 2, 6, 1, 7, 3, 5],
+        ];
+        for schedule in schedules {
+            for jobs in [1, 3, 8] {
+                let out = par_map_outcomes_scheduled(
+                    jobs,
+                    9,
+                    0.0,
+                    Some(schedule.clone()),
+                    |i| format!("#{i}"),
+                    |i| i * 11,
+                );
+                let got: Vec<_> = out.iter().map(|o| *o.result().unwrap()).collect();
+                assert_eq!(
+                    got,
+                    (0..9).map(|i| i * 11).collect::<Vec<_>>(),
+                    "jobs={jobs} schedule={schedule:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eta_without_inflight_matches_plain_rate_math() {
+        // 100k of 400k estimated ops done in 10s → 30s remaining.
+        let eta = eta_from_ops(400_000, 100_000, 10.0, &[]).unwrap();
+        assert!((eta - 30.0).abs() < 1e-9, "{eta}");
+        // No estimates, or nothing finished yet → no ops-based ETA.
+        assert!(eta_from_ops(0, 0, 10.0, &[]).is_none());
+        assert!(eta_from_ops(400_000, 0, 10.0, &[]).is_none());
+    }
+
+    #[test]
+    fn inflight_cells_earn_partial_eta_credit() {
+        // Rate = 10k ops/s. One in-flight cell of 200k est, running 5s:
+        // credited 50k, so remaining = 300k - 50k → 25s instead of 30s.
+        let plain = eta_from_ops(400_000, 100_000, 10.0, &[]).unwrap();
+        let credited = eta_from_ops(400_000, 100_000, 10.0, &[(5.0, 200_000)]).unwrap();
+        assert!((plain - 30.0).abs() < 1e-9);
+        assert!((credited - 25.0).abs() < 1e-9, "{credited}");
+        // Two in-flight cells split the rate (25k each, 50k total — same
+        // aggregate as one cell at the full rate), but a small cell's
+        // credit caps at 95% of its own estimate: 25k + 9.5k → 26.55s.
+        let split =
+            eta_from_ops(400_000, 100_000, 10.0, &[(5.0, 200_000), (5.0, 200_000)]).unwrap();
+        assert!((split - 25.0).abs() < 1e-9, "{split}");
+        let capped =
+            eta_from_ops(400_000, 100_000, 10.0, &[(5.0, 200_000), (5.0, 10_000)]).unwrap();
+        assert!((capped - 26.55).abs() < 1e-9, "{capped}");
+    }
+
+    #[test]
+    fn inflight_credit_is_capped_below_the_cell_estimate() {
+        // A cell "running" absurdly long never counts as more than 95%
+        // done until it reports completion, and the ETA never goes
+        // negative.
+        let eta = eta_from_ops(200_000, 100_000, 10.0, &[(1e9, 100_000)]).unwrap();
+        let floor = (100_000.0 - 95_000.0) / 10_000.0;
+        assert!((eta - floor).abs() < 1e-9, "{eta}");
+        let eta = eta_from_ops(110_000, 100_000, 10.0, &[(1e9, 100_000)]).unwrap();
+        assert!((eta - 0.0).abs() < 1e-9, "clamped at zero, got {eta}");
+    }
+
+    #[test]
+    fn longest_first_schedule_sorts_by_estimate_with_stable_ties() {
+        use crate::PolicyKind;
+        use numa_topology::MachineSpec;
+        use workloads::Benchmark;
+        let machine = MachineSpec::test_machine();
+        let mk = |bench: Benchmark| CellSpec {
+            machine: machine.clone(),
+            workload: Workload::Bench(bench),
+            kind: PolicyKind::Linux4k,
+            seed: None,
+            faults: None,
+            label: None,
+        };
+        // IS.D is the suite's largest footprint; EP.C is tiny.
+        let specs = vec![mk(Benchmark::EpC), mk(Benchmark::IsD), mk(Benchmark::EpC)];
+        let (order, est) = longest_first_schedule(&specs);
+        assert_eq!(est.len(), 3);
+        assert_eq!(est[0], est[2], "same cell shape, same estimate");
+        assert!(est[1] > est[0], "IS.D should out-estimate EP.C");
+        assert_eq!(
+            order,
+            vec![1, 0, 2],
+            "longest first, ties in submission order"
         );
     }
 

@@ -47,7 +47,7 @@ pub const VERSION: u32 = 1;
 /// Descriptor of the payload layout. Any change to what the snapshot
 /// serializes (or its order) MUST extend this string so old checkpoints
 /// are rejected by schema hash instead of mis-decoded.
-const SCHEMA: &str = "ckpt-v1: gen space(+table_homing) walk_cache tlbs mem \
+const SCHEMA: &str = "ckpt-v1: gen space(+table_homing) walk_caches[per-thread] tlbs mem \
                       sampler(+walk_remote_steps) page_stats? faults fault_epoch fault_life \
                       robust wall total_ops overhead_total epochs last_failures \
                       attrib(prelude core_totals epochs; 19 buckets)? policy_bytes; \
@@ -62,11 +62,16 @@ pub fn schema_hash() -> u64 {
 /// machine, the workload spec, and the full simulation config (seed,
 /// fault plan, attribution switch, ...). Computed over the `Debug`
 /// renderings, which cover every field.
+///
+/// `shards` is normalized out: the lane count never affects results, so a
+/// checkpoint taken at one shard count must resume at any other.
 pub fn config_fingerprint(
     machine: &MachineSpec,
     spec: &WorkloadSpec,
     config: &crate::SimConfig,
 ) -> u64 {
+    let mut config = config.clone();
+    config.shards = 0;
     let repr = format!("{} {:?} {:?}", machine.name(), spec, config);
     fnv1a(repr.as_bytes())
 }

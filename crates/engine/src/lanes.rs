@@ -1,0 +1,140 @@
+//! Process-wide pool of spare execution lanes for intra-run sharding.
+//!
+//! A *lane* is permission to run one extra OS thread inside a simulation
+//! (see DESIGN.md §14). The pool exists so nested parallelism composes
+//! with the bench runner's cell-level parallelism instead of fighting it:
+//! the runner [`configure`]s the pool with the host cores it is not using
+//! for whole cells, and each worker [`donate`]s its own slot back when it
+//! runs out of queued cells — so the last long-running cells of a suite
+//! automatically fan out across the cores that just went idle.
+//!
+//! A run whose `SimConfig::shards` is `0` (auto) asks the pool with
+//! [`acquire`] at every epoch boundary and returns the lanes when the
+//! epoch chunk completes, so a long cell picks up newly donated lanes at
+//! its next boundary; an explicit shard count bypasses the pool entirely.
+//! The pool only ever changes *how many threads* a run uses, never its
+//! results: sharded execution is bit-identical to serial for any lane
+//! count, including a count that varies epoch to epoch.
+//!
+//! The default pool is empty, so library users who never touch this
+//! module get plain serial runs.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+static SLOTS: AtomicIsize = AtomicIsize::new(0);
+
+/// Sets the number of spare lanes available to auto-sharded runs,
+/// replacing whatever the pool held. Call once before a suite starts.
+pub fn configure(n: usize) {
+    SLOTS.store(n as isize, Ordering::SeqCst);
+}
+
+/// Adds `n` lanes to the pool — a worker going idle donates its slot so
+/// still-running simulations can widen.
+pub fn donate(n: usize) {
+    SLOTS.fetch_add(n as isize, Ordering::SeqCst);
+}
+
+/// Takes up to `want` lanes from the pool; returns how many were granted
+/// (possibly 0). The caller must [`release`] exactly that many.
+pub fn acquire(want: usize) -> usize {
+    if want == 0 {
+        return 0;
+    }
+    let mut got = 0usize;
+    while got < want {
+        let cur = SLOTS.load(Ordering::SeqCst);
+        if cur <= 0 {
+            break;
+        }
+        let take = (cur as usize).min(want - got);
+        if SLOTS
+            .compare_exchange(cur, cur - take as isize, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            got += take;
+        }
+    }
+    got
+}
+
+/// Returns `n` previously [`acquire`]d lanes to the pool.
+pub fn release(n: usize) {
+    SLOTS.fetch_add(n as isize, Ordering::SeqCst);
+}
+
+/// Lanes currently available (for tests and runner diagnostics).
+pub fn available() -> usize {
+    SLOTS.load(Ordering::SeqCst).max(0) as usize
+}
+
+/// RAII grant of pool lanes: releases on drop, so early returns inside
+/// the engine (checkpoint stops, panics) cannot leak slots.
+pub struct Lease(usize);
+
+impl Lease {
+    /// Acquires up to `want` lanes from the pool.
+    pub fn acquire(want: usize) -> Lease {
+        Lease(acquire(want))
+    }
+
+    /// A lease of zero lanes (explicit shard counts bypass the pool).
+    pub fn empty() -> Lease {
+        Lease(0)
+    }
+
+    /// How many lanes this lease holds.
+    pub fn count(&self) -> usize {
+        self.0
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        release(self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The pool is process-global state shared by every #[test] thread, so
+    // these tests only assert *relative* effects under a lock.
+    use std::sync::Mutex;
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn acquire_is_bounded_by_pool() {
+        let _g = LOCK.lock().unwrap();
+        configure(3);
+        assert_eq!(acquire(2), 2);
+        assert_eq!(acquire(2), 1);
+        assert_eq!(acquire(2), 0);
+        release(3);
+        assert_eq!(available(), 3);
+        configure(0);
+    }
+
+    #[test]
+    fn lease_releases_on_drop() {
+        let _g = LOCK.lock().unwrap();
+        configure(4);
+        {
+            let lease = Lease::acquire(10);
+            assert_eq!(lease.count(), 4);
+            assert_eq!(available(), 0);
+        }
+        assert_eq!(available(), 4);
+        configure(0);
+    }
+
+    #[test]
+    fn donate_grows_the_pool() {
+        let _g = LOCK.lock().unwrap();
+        configure(0);
+        donate(2);
+        assert_eq!(acquire(5), 2);
+        configure(0);
+    }
+}

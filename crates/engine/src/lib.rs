@@ -36,6 +36,7 @@
 pub mod checkpoint;
 mod config;
 mod faults;
+pub mod lanes;
 mod policy;
 mod result;
 mod sim;

@@ -10,14 +10,15 @@
 use proc_macro::TokenStream;
 
 /// No-op `Serialize` derive: the marker trait has no items to implement,
-/// and a blanket impl in `serde` covers every type.
-#[proc_macro_derive(Serialize)]
+/// and a blanket impl in `serde` covers every type. Registers the `serde`
+/// helper attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// No-op `Deserialize` derive; see [`derive_serialize`].
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
