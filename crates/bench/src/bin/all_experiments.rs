@@ -87,10 +87,10 @@ fn main() {
         }
     };
     let keys: Vec<String> = unique.iter().map(|s| s.key()).collect();
-    let mut journaled = if resume {
-        journal::load(SUITE)
+    let (mut journaled, stale) = if resume {
+        journal::load_counted(SUITE)
     } else {
-        HashMap::new()
+        (HashMap::new(), 0)
     };
     let mut filled: Vec<Option<TimedCell>> = keys
         .iter()
@@ -113,6 +113,13 @@ fn main() {
             unique.len(),
             journal::journal_path(SUITE).display()
         );
+        if stale > 0 {
+            // Later-line-wins fired: an interrupted append or a retried
+            // cell left earlier lines for the same key behind.
+            eprintln!(
+                "[all] resume: skipped {stale} stale duplicate journal line(s) (later line wins)"
+            );
+        }
     }
 
     let todo: Vec<usize> = (0..unique.len()).filter(|&i| filled[i].is_none()).collect();
@@ -404,7 +411,7 @@ fn write_bench_runner_json(
 ) {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"bench-runner-v3\",\n");
+    out.push_str("  \"schema\": \"bench-runner-v4\",\n");
     out.push_str(&format!(
         "  \"shards\": \"{}\",\n",
         esc(&std::env::var("CARREFOUR_SHARDS").unwrap_or_else(|_| "auto".into()))
@@ -415,6 +422,21 @@ fn write_bench_runner_json(
     out.push_str(&format!("  \"unique_cells\": {},\n", timed.len()));
     let submitted: usize = exp_slots.iter().map(Vec::len).sum();
     out.push_str(&format!("  \"submitted_cells\": {submitted},\n"));
+    // Prefix-sharing counters (new in v4). The figure suite deliberately
+    // runs every unique cell from scratch — per-cell journaling and
+    // crash-resume depend on each cell being an independent unit
+    // (DESIGN.md §15) — so `epochs_reused` is an honest 0 here and
+    // `families` is empty; the sweep's fork-tree reuse is accounted in
+    // results/SWEEP_lp.json (schema sweep-v1), where sharing actually
+    // runs. The fields exist in both files so trajectory tooling reads
+    // one shape.
+    let epochs_simulated: u64 = timed
+        .iter()
+        .map(|t| t.cell.result.epochs.len() as u64)
+        .sum();
+    out.push_str(&format!("  \"epochs_simulated\": {epochs_simulated},\n"));
+    out.push_str("  \"epochs_reused\": 0,\n");
+    out.push_str("  \"families\": [],\n");
     // Attribute each unique cell's cost to the first experiment that
     // submitted it, so per-experiment seconds sum to the cell total.
     let owner = owners(exp_slots, timed.len());

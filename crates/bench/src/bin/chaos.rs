@@ -78,6 +78,8 @@ fn grid_spec(
         seed: None,
         faults: Some(FaultConfig::uniform(FAULT_SEED, rate)),
         label: Some(format!("{name}@{rate}")),
+        lp_params: None,
+        family: None,
     }
 }
 
@@ -245,6 +247,8 @@ fn main() {
                 seed: None,
                 faults: Some(FaultConfig::corruption(FAULT_SEED, r)),
                 label: Some(format!("carrefour-lp@corruption-{r}")),
+                lp_params: None,
+                family: None,
             });
         }
     }

@@ -89,6 +89,11 @@ pub fn all() -> Vec<Experiment> {
             specs: fig_pt_specs(),
             render: fig_pt_render,
         },
+        Experiment {
+            name: "tuned",
+            specs: tuned_specs(),
+            render: tuned_render,
+        },
     ]
 }
 
@@ -628,6 +633,51 @@ fn fig_pt_render(cells: &[Cell]) {
             );
         }
         save_json(&format!("figPT_{}", machine.name()), &cells);
+        println!();
+    }
+}
+
+// --------------------------------------------------------------- tuned
+
+fn tuned_specs() -> Vec<CellSpec> {
+    both_machines(
+        Benchmark::numa_affected(),
+        &[
+            PolicyKind::Linux4k,
+            PolicyKind::CarrefourLp,
+            PolicyKind::CarrefourLpTuned,
+        ],
+    )
+}
+
+/// The sweep winner (`LpParams::tuned()`, results/SWEEP_lp.json) against
+/// the paper-threshold Carrefour-LP, both as improvement over Linux-4K.
+/// The last column is the per-benchmark delta the Pareto frontier traded
+/// on: positive means the tuned thresholds beat the paper's on that
+/// scenario.
+fn tuned_render(cells: &[Cell]) {
+    for machine in machines() {
+        println!(
+            "== Tuned thresholds ({}) : improvement over Linux ==",
+            machine.name()
+        );
+        println!(
+            "{:<16} {:>14} {:>14} {:>9}",
+            "bench", "Carrefour-LP", "LP-Tuned", "delta"
+        );
+        let cells = on_machine(cells, &machine);
+        for &b in Benchmark::numa_affected() {
+            let lp = improvement(&cells, b, PolicyKind::CarrefourLp, PolicyKind::Linux4k);
+            let tuned = improvement(&cells, b, PolicyKind::CarrefourLpTuned, PolicyKind::Linux4k);
+            println!(
+                "{:<16} {:>14.1} {:>14.1} {:>9.1}",
+                b.name(),
+                lp,
+                tuned,
+                tuned - lp
+            );
+        }
+        save_json(&format!("tuned_{}", machine.name()), &cells);
         println!();
     }
 }

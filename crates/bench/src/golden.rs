@@ -11,10 +11,11 @@
 //! The cell set is small on purpose: the two benchmarks the paper's
 //! Figure 2 narrative revolves around (UA.B, CG.D) under the baseline
 //! policies and full Carrefour-LP, on machine A, pinned to the default
-//! seed, plus the two page-table placement policies (Mitosis, numaPTE).
-//! Ten cells cover the fault path, khugepaged, the TLB, both
-//! Algorithm 1 components, the Carrefour placement pass, table
-//! replication with write fan-out, and sampled table migration.
+//! seed, plus the two page-table placement policies (Mitosis, numaPTE)
+//! and the sweep-tuned Carrefour-LP preset. Eleven cells cover the fault
+//! path, khugepaged, the TLB, both Algorithm 1 components, the Carrefour
+//! placement pass, table replication with write fan-out, sampled table
+//! migration, and the non-default threshold path.
 //!
 //! Workflow:
 //! * `cargo test -q` (tier-1) recomputes and diffs every cell.
@@ -39,7 +40,7 @@ pub struct GoldenCell {
 
 /// The pinned cell set. Order is the order digests are computed and
 /// reported in.
-pub const GOLDEN_CELLS: [GoldenCell; 10] = [
+pub const GOLDEN_CELLS: [GoldenCell; 11] = [
     GoldenCell {
         bench: Benchmark::UaB,
         kind: PolicyKind::Linux4k,
@@ -79,6 +80,13 @@ pub const GOLDEN_CELLS: [GoldenCell; 10] = [
     GoldenCell {
         bench: Benchmark::CgD,
         kind: PolicyKind::NumaPte,
+    },
+    // The threshold-sweep winner (results/SWEEP_lp.json): pins the tuned
+    // preset so a drive-by edit to `LpParams::tuned()` — or a behaviour
+    // change under non-default thresholds — fails loudly.
+    GoldenCell {
+        bench: Benchmark::UaB,
+        kind: PolicyKind::CarrefourLpTuned,
     },
 ];
 

@@ -119,10 +119,27 @@ impl Journal {
 ///
 /// [`CellSpec::key`]: crate::runner::CellSpec::key
 pub fn load(suite: &str) -> HashMap<String, JournaledCell> {
+    load_counted(suite).0
+}
+
+/// [`load`], plus the number of *stale* lines that were superseded by a
+/// later line for the same key (the later-line-wins rule firing). A
+/// crash between append and kill can journal a cell twice, and a retry
+/// after a panic line legitimately re-journals the key — the count lets
+/// `--resume` report how much of the journal it discarded rather than
+/// silently folding duplicates.
+pub fn load_counted(suite: &str) -> (HashMap<String, JournaledCell>, usize) {
+    match std::fs::read_to_string(journal_path(suite)) {
+        Ok(text) => load_from_str(&text),
+        Err(_) => (HashMap::new(), 0),
+    }
+}
+
+/// The parser behind [`load_counted`], split out so tests can feed it
+/// torn and duplicated lines directly.
+fn load_from_str(text: &str) -> (HashMap<String, JournaledCell>, usize) {
     let mut out = HashMap::new();
-    let Ok(text) = std::fs::read_to_string(journal_path(suite)) else {
-        return out;
-    };
+    let mut stale = 0usize;
     for line in text.lines() {
         let Some(key) = json_string_field(line, "key") else {
             continue;
@@ -146,7 +163,7 @@ pub fn load(suite: &str) -> HashMap<String, JournaledCell> {
                     continue;
                 };
                 let wall_secs = json_number_field(line, "wall_secs").unwrap_or(0.0);
-                out.insert(
+                let prev = out.insert(
                     key,
                     JournaledCell {
                         cell: Cell {
@@ -158,16 +175,17 @@ pub fn load(suite: &str) -> HashMap<String, JournaledCell> {
                         wall_secs,
                     },
                 );
+                stale += usize::from(prev.is_some());
             }
             // A later failure line invalidates an earlier success for the
             // same key (it should not happen, but the newest verdict wins).
             Some(_) => {
-                out.remove(&key);
+                stale += usize::from(out.remove(&key).is_some());
             }
             None => {}
         }
     }
-    out
+    (out, stale)
 }
 
 /// Extracts the string value of `"name":"…"` from one JSON line, undoing
@@ -239,5 +257,71 @@ mod tests {
         assert_eq!(json_number_field(line, "wall_secs"), Some(1.25));
         assert_eq!(json_number_field(line, "n"), Some(-300.0));
         assert_eq!(json_number_field(line, "absent"), None);
+    }
+
+    /// One valid journal line for `key`, exactly as [`Journal::record_ok`]
+    /// writes it (same format string, no file involved).
+    fn ok_line(key: &str, result: &engine::SimResult, wall_secs: f64) -> String {
+        let blob = codec::to_hex(&engine::checkpoint::encode_result(result));
+        format!(
+            "{{\"key\":\"{}\",\"status\":\"ok\",\"machine\":\"m\",\"benchmark\":\"b\",\"policy\":\"p\",\"wall_secs\":{},\"blob\":\"{}\"}}",
+            esc(key),
+            wall_secs,
+            blob,
+        )
+    }
+
+    fn small_result() -> engine::SimResult {
+        crate::run_cell(
+            &numa_topology::MachineSpec::test_machine(),
+            workloads::Benchmark::EpC,
+            crate::PolicyKind::Linux4k,
+        )
+    }
+
+    #[test]
+    fn torn_lines_are_skipped_and_cells_rerun() {
+        let r = small_result();
+        let good = ok_line("cell-a", &r, 1.0);
+        // Torn mid-blob (crash during append): checksum fails, line drops.
+        let torn = &good[..good.len() / 2];
+        // Torn so early the key survives but the blob field is gone.
+        let no_blob = "{\"key\":\"cell-b\",\"status\":\"ok\",\"machine\":\"m";
+        let text = format!("{torn}\n{no_blob}\n{good}\n");
+        let (map, stale) = load_from_str(&text);
+        assert_eq!(map.len(), 1, "only the complete line loads");
+        assert!(map.contains_key("cell-a"));
+        assert_eq!(stale, 0, "torn lines are dropped, not superseded");
+    }
+
+    #[test]
+    fn later_duplicate_wins_and_is_counted() {
+        let r = small_result();
+        let text = format!(
+            "{}\n{}\n{}\n",
+            ok_line("cell-a", &r, 1.0),
+            ok_line("cell-b", &r, 5.0),
+            ok_line("cell-a", &r, 2.0),
+        );
+        let (map, stale) = load_from_str(&text);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["cell-a"].wall_secs, 2.0, "the later line wins");
+        assert_eq!(stale, 1, "one earlier line was superseded");
+    }
+
+    #[test]
+    fn late_failure_line_invalidates_and_is_counted() {
+        let r = small_result();
+        let text = format!(
+            "{}\n{{\"key\":\"cell-a\",\"status\":\"panicked\",\"msg\":\"boom\"}}\n",
+            ok_line("cell-a", &r, 1.0),
+        );
+        let (map, stale) = load_from_str(&text);
+        assert!(map.is_empty(), "the newest verdict is a failure");
+        assert_eq!(stale, 1);
+        // A failure for a key never journaled ok counts nothing.
+        let (_, stale2) =
+            load_from_str("{\"key\":\"ghost\",\"status\":\"panicked\",\"msg\":\"x\"}\n");
+        assert_eq!(stale2, 0);
     }
 }

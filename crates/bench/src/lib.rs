@@ -6,7 +6,7 @@
 //! also written as JSON under `results/` so EXPERIMENTS.md can be
 //! regenerated mechanically.
 
-use carrefour::{Carrefour, CarrefourLp, Mitosis, NumaPte};
+use carrefour::{Carrefour, CarrefourLp, LpParams, Mitosis, NumaPte};
 use engine::{NullPolicy, NumaPolicy, SimConfig, SimResult, Simulation};
 use numa_topology::MachineSpec;
 use serde::{Deserialize, Serialize};
@@ -15,6 +15,7 @@ use workloads::Benchmark;
 
 pub mod attrib;
 pub mod experiments;
+pub mod forktree;
 pub mod golden;
 pub mod journal;
 pub mod runner;
@@ -55,6 +56,9 @@ pub enum PolicyKind {
     Mitosis,
     /// numaPTE-style lazy page-table migration on 4 KiB pages.
     NumaPte,
+    /// Carrefour-LP with the threshold-sweep winner (`LpParams::tuned()`,
+    /// ROADMAP item 4 / `results/SWEEP_lp.json`).
+    CarrefourLpTuned,
 }
 
 impl PolicyKind {
@@ -70,7 +74,8 @@ impl PolicyKind {
             | PolicyKind::Carrefour2m
             | PolicyKind::ReactiveOnly
             | PolicyKind::CarrefourLp
-            | PolicyKind::CarrefourLpNoRetry => ThpControls::thp(),
+            | PolicyKind::CarrefourLpNoRetry
+            | PolicyKind::CarrefourLpTuned => ThpControls::thp(),
             PolicyKind::Linux1g | PolicyKind::CarrefourLp1g => ThpControls::giant(),
         }
     }
@@ -88,11 +93,14 @@ impl PolicyKind {
             PolicyKind::CarrefourLp | PolicyKind::CarrefourLp1g => Box::new(CarrefourLp::new()),
             PolicyKind::Mitosis => Box::new(Mitosis::new()),
             PolicyKind::NumaPte => Box::new(NumaPte::new()),
+            PolicyKind::CarrefourLpTuned => {
+                Box::new(CarrefourLp::with_params(LpParams::tuned()).named("carrefour-lp-tuned"))
+            }
         }
     }
 
     /// Every kind, in declaration order (the order legends list them).
-    pub fn all() -> [PolicyKind; 12] {
+    pub fn all() -> [PolicyKind; 13] {
         [
             PolicyKind::Linux4k,
             PolicyKind::LinuxThp,
@@ -106,6 +114,7 @@ impl PolicyKind {
             PolicyKind::CarrefourLp1g,
             PolicyKind::Mitosis,
             PolicyKind::NumaPte,
+            PolicyKind::CarrefourLpTuned,
         ]
     }
 
@@ -132,6 +141,7 @@ impl PolicyKind {
             PolicyKind::CarrefourLp1g => "Carrefour-LP-1G",
             PolicyKind::Mitosis => "Mitosis",
             PolicyKind::NumaPte => "numaPTE",
+            PolicyKind::CarrefourLpTuned => "Carrefour-LP-Tuned",
         }
     }
 }
@@ -448,6 +458,7 @@ mod tests {
         assert!(PolicyKind::Linux1g.initial_thp().alloc_1g);
         assert!(!PolicyKind::ConservativeOnly.initial_thp().alloc_2m);
         assert!(PolicyKind::ReactiveOnly.initial_thp().alloc_2m);
+        assert!(PolicyKind::CarrefourLpTuned.initial_thp().alloc_2m);
     }
 
     #[test]
@@ -465,6 +476,7 @@ mod tests {
             PolicyKind::CarrefourLp1g,
             PolicyKind::Mitosis,
             PolicyKind::NumaPte,
+            PolicyKind::CarrefourLpTuned,
         ];
         let labels: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), kinds.len());

@@ -30,7 +30,8 @@
 //! `tests/runner_equivalence.rs` and by the golden digests).
 
 use crate::{run_cell, Cell, PolicyKind};
-use engine::{FaultConfig, SimConfig, SimResult, Simulation};
+use carrefour::{CarrefourLp, LpParams};
+use engine::{FaultConfig, NumaPolicy, SimConfig, SimResult, Simulation};
 use numa_topology::MachineSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -82,6 +83,17 @@ pub struct CellSpec {
     /// Override of the result's policy label (`None` = `kind.label()`).
     /// `chaos` uses this to tag cells with their fault rate.
     pub label: Option<String>,
+    /// Override of the policy's tunables: when set, the cell runs
+    /// `CarrefourLp::with_params` instead of `kind.make()` (`kind` still
+    /// supplies the initial THP state and the default label). This is the
+    /// sweep's axis — everything *else* about such cells is shared.
+    pub lp_params: Option<LpParams>,
+    /// Opt-in tag for prefix-sharing: cells carrying the same family tag
+    /// (and, necessarily, the same [`CellSpec::family_key`]) are simulated
+    /// as one fork tree — a probe runs in full, siblings resume from the
+    /// deepest checkpoint before their first divergent policy decision.
+    /// `None` (everywhere outside the sweep) keeps the plain per-cell path.
+    pub family: Option<String>,
 }
 
 impl CellSpec {
@@ -94,6 +106,8 @@ impl CellSpec {
             seed: None,
             faults: None,
             label: None,
+            lp_params: None,
+            family: None,
         }
     }
 
@@ -118,14 +132,66 @@ impl CellSpec {
     /// determinism) to produce equal results. `Debug` formatting covers
     /// every field that feeds the simulation.
     pub fn key(&self) -> String {
-        format!(
+        let mut k = format!(
             "{}|{:?}|{:?}|{:?}|{:?}",
             self.machine.name(),
             self.workload,
             self.kind,
             self.seed,
             self.faults
-        )
+        );
+        // Appended only when present so every pre-existing cell keeps its
+        // exact historical key (journals from older suite runs stay
+        // resumable). `family` is deliberately absent: it groups execution,
+        // it never changes what a cell computes.
+        if let Some(p) = &self.lp_params {
+            k.push_str(&format!("|{p:?}"));
+        }
+        k
+    }
+
+    /// The sharing-compatibility key: everything that must agree for two
+    /// cells to be simulated as one fork-tree family — machine, workload,
+    /// seed, fault plan, and initial THP state (different THP switches mean
+    /// different `SimConfig`s, hence different checkpoint fingerprints).
+    /// Policy identity and parameters are deliberately excluded: they are
+    /// the axis the family sweeps. `None` unless the cell opted in via
+    /// [`CellSpec::family`].
+    pub fn family_key(&self) -> Option<String> {
+        self.family.as_ref().map(|f| {
+            format!(
+                "{f}|{}|{:?}|{:?}|{:?}|{:?}",
+                self.machine.name(),
+                self.workload,
+                self.seed,
+                self.faults,
+                self.kind.initial_thp()
+            )
+        })
+    }
+
+    /// The policy instance this cell runs: the parameterized Carrefour-LP
+    /// when [`CellSpec::lp_params`] is set, `kind.make()` otherwise.
+    pub fn make_policy(&self) -> Box<dyn NumaPolicy> {
+        match self.lp_params {
+            Some(p) => Box::new(CarrefourLp::with_params(p)),
+            None => self.kind.make(),
+        }
+    }
+
+    /// The `SimConfig` this cell runs under: the per-machine config for
+    /// `kind`'s initial THP state, with the suite's attribution switch and
+    /// this cell's seed/fault overrides applied.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut config = SimConfig::for_machine(&self.machine, self.kind.initial_thp());
+        config.attribution = crate::attrib_enabled();
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(faults) = self.faults {
+            config.faults = faults;
+        }
+        config
     }
 
     /// Estimated simulated memory operations this cell will execute:
@@ -144,23 +210,16 @@ impl CellSpec {
 /// Runs one cell spec. Identical to [`run_cell`] for plain cells; seed
 /// and fault overrides are applied to the per-machine config first.
 pub fn run_spec(spec: &CellSpec) -> SimResult {
-    if spec.seed.is_none() && spec.faults.is_none() {
+    if spec.seed.is_none() && spec.faults.is_none() && spec.lp_params.is_none() {
         if let Workload::Bench(b) = spec.workload {
             let mut r = run_cell(&spec.machine, b, spec.kind);
             r.policy = spec.policy_label();
             return r;
         }
     }
-    let mut config = SimConfig::for_machine(&spec.machine, spec.kind.initial_thp());
-    config.attribution = crate::attrib_enabled();
-    if let Some(seed) = spec.seed {
-        config.seed = seed;
-    }
-    if let Some(faults) = spec.faults {
-        config.faults = faults;
-    }
+    let config = spec.sim_config();
     let wspec = spec.workload.spec(&spec.machine);
-    let mut policy = spec.kind.make();
+    let mut policy = spec.make_policy();
     let mut r = Simulation::run(&spec.machine, &wspec, &config, policy.as_mut());
     r.policy = spec.policy_label();
     r
@@ -182,19 +241,17 @@ pub fn jobs_from_args() -> Option<usize> {
 }
 
 /// Resolves the worker count: explicit CLI value, then `CARREFOUR_JOBS`,
-/// then the host's available parallelism. Always at least 1.
+/// then the host's available parallelism. Always at least 1. An
+/// unparseable `CARREFOUR_JOBS` warns on stderr and falls back to auto
+/// (via [`engine::env_override_u32`]) rather than silently serializing.
 pub fn resolve_jobs(cli: Option<usize>) -> usize {
-    cli.or_else(|| {
-        std::env::var("CARREFOUR_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-    })
-    .unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    })
-    .max(1)
+    cli.or_else(|| engine::env_override_u32("CARREFOUR_JOBS").map(|v| v as usize))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
 }
 
 /// The default worker count for a binary: `--jobs` from its arguments,
@@ -873,6 +930,44 @@ mod tests {
     }
 
     #[test]
+    fn zero_estimate_inflight_cells_earn_no_credit() {
+        // A cell whose estimator came back 0 (custom workloads can) sits in
+        // the in-flight list without poisoning the ETA: its 95% cap is 0,
+        // so its credit is 0 — but it still takes a share of the rate.
+        let plain = eta_from_ops(400_000, 100_000, 10.0, &[]).unwrap();
+        let with_zero = eta_from_ops(400_000, 100_000, 10.0, &[(5.0, 0)]).unwrap();
+        assert!((plain - 30.0).abs() < 1e-9);
+        assert!(
+            (with_zero - 30.0).abs() < 1e-9,
+            "zero-estimate cell credited nothing, got {with_zero}"
+        );
+        // Paired with a real cell it still only dilutes the shared rate:
+        // the 200k cell gets rate/2 * 5s = 25k credit, the zero cell 0.
+        let mixed = eta_from_ops(400_000, 100_000, 10.0, &[(5.0, 0), (5.0, 200_000)]).unwrap();
+        assert!((mixed - 27.5).abs() < 1e-9, "{mixed}");
+    }
+
+    #[test]
+    fn all_cells_inflight_with_nothing_done_gives_no_eta() {
+        // Suite start: every cell is in flight, none has finished, so
+        // est_done == 0 and there is no observed rate to extrapolate from.
+        assert!(eta_from_ops(400_000, 0, 10.0, &[(5.0, 200_000), (5.0, 200_000)]).is_none());
+        // Degenerate wall clock never divides by zero either.
+        assert!(eta_from_ops(400_000, 100_000, 0.0, &[(5.0, 200_000)]).is_none());
+    }
+
+    #[test]
+    fn every_remaining_cell_inflight_converges_to_the_cap_floor() {
+        // All remaining work is in flight and every cell is near done: the
+        // credit caps keep 5% of each estimate outstanding, so the ETA
+        // stays positive until completions actually land.
+        let eta = eta_from_ops(300_000, 100_000, 10.0, &[(1e9, 100_000), (1e9, 100_000)]).unwrap();
+        let floor = (200_000.0 - 2.0 * 95_000.0) / 10_000.0;
+        assert!((eta - floor).abs() < 1e-9, "{eta} vs floor {floor}");
+        assert!(eta > 0.0);
+    }
+
+    #[test]
     fn longest_first_schedule_sorts_by_estimate_with_stable_ties() {
         use crate::PolicyKind;
         use numa_topology::MachineSpec;
@@ -885,6 +980,8 @@ mod tests {
             seed: None,
             faults: None,
             label: None,
+            lp_params: None,
+            family: None,
         };
         // IS.D is the suite's largest footprint; EP.C is tiny.
         let specs = vec![mk(Benchmark::EpC), mk(Benchmark::IsD), mk(Benchmark::EpC)];

@@ -87,6 +87,8 @@ fn cell(workload: WorkloadSpec, kind: PolicyKind, faults: Option<FaultConfig>) -
         seed: Some(7),
         faults,
         label: None,
+        lp_params: None,
+        family: None,
     }
 }
 

@@ -101,6 +101,8 @@ proptest! {
                 seed: Some(seed.wrapping_add(i as u64)),
                 faults: Some(FaultConfig::uniform(fault_seed, rate)),
                 label: None,
+                lp_params: None,
+                family: None,
             })
             .collect();
         assert_jobs_equivalent(&specs, 1, jobs);
@@ -164,6 +166,8 @@ fn panicking_cell_does_not_abort_the_suite() {
         seed: Some(5),
         faults: None,
         label: None,
+        lp_params: None,
+        family: None,
     };
     let mut bad_spec = small_spec(&machine, "bad".to_string(), 3, AccessPattern::PrivateSlices);
     // A second region at the same base: the overlap panics inside the

@@ -81,10 +81,15 @@ pub struct Carrefour {
     replicated: BTreeSet<u64>,
 }
 
+/// The RNG seed every default-constructed Carrefour uses. Exposed so
+/// parameterized constructions ([`crate::CarrefourLp::with_params`]) can
+/// reproduce the stock policy bit-for-bit when handed default tunables.
+pub const DEFAULT_SEED: u64 = 0xCA44EF04;
+
 impl Carrefour {
     /// Creates the policy with default thresholds.
     pub fn new() -> Self {
-        Carrefour::with_config(CarrefourConfig::default(), 0xCA44EF04)
+        Carrefour::with_config(CarrefourConfig::default(), DEFAULT_SEED)
     }
 
     /// Creates the policy with replication enabled (the original
@@ -94,7 +99,7 @@ impl Carrefour {
             enable_replication: true,
             ..CarrefourConfig::default()
         };
-        Carrefour::with_config(cfg, 0xCA44EF04)
+        Carrefour::with_config(cfg, DEFAULT_SEED)
     }
 
     /// Creates the policy with explicit thresholds and RNG seed.

@@ -101,6 +101,53 @@ impl Default for LpThresholds {
     }
 }
 
+/// The complete tunable surface of Carrefour-LP in one serializable value:
+/// Algorithm 1's thresholds, the underlying Carrefour's engagement knobs,
+/// and PR 1's retry/backoff constants. This is the coordinate the `sweep`
+/// binary searches over (ROADMAP item 4) and the payload a
+/// `carrefour_bench::runner::CellSpec` carries to parameterize a cell.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LpParams {
+    /// Algorithm 1's enable/split thresholds.
+    pub thresholds: LpThresholds,
+    /// Baseline Carrefour engagement and rate-limit knobs.
+    pub carrefour: CarrefourConfig,
+    /// Retry/backoff/circuit-breaker constants.
+    pub robustness: RobustnessConfig,
+}
+
+impl LpParams {
+    /// The winning configuration of the threshold sweep
+    /// (`results/SWEEP_lp.json`, EXPERIMENTS.md "Threshold sweep"): the
+    /// paper's thresholds with a *more patient* reactive split gate
+    /// (split only on predicted gains ≥ 7.5 pp instead of 5), an earlier
+    /// imbalance trigger (25 % instead of 35), and a doubled migration
+    /// rate limit. On the sweep's 16 (machine × benchmark) scenarios this
+    /// sits on the Pareto frontier with zero worst-case regression.
+    /// Checked in as the `carrefour-lp-tuned` preset with its own golden
+    /// cell.
+    pub fn tuned() -> Self {
+        LpParams {
+            thresholds: LpThresholds {
+                walk_miss_enable: 0.05,
+                fault_time_enable: 0.05,
+                carrefour_gain_pp: 15.0,
+                split_gain_pp: 7.5,
+                hot_page_fraction: 0.06,
+            },
+            carrefour: CarrefourConfig {
+                min_samples_per_page: 2,
+                lar_enable_below: 0.80,
+                imbalance_enable_above: 25.0,
+                intensity_min_dram_per_op: 0.001,
+                max_migrations_per_epoch: 8192,
+                enable_replication: false,
+            },
+            robustness: RobustnessConfig::default(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

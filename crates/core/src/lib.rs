@@ -48,7 +48,7 @@ mod robust;
 mod tables;
 
 pub use classic::Carrefour;
-pub use config::{CarrefourConfig, LpThresholds, RobustnessConfig};
+pub use config::{CarrefourConfig, LpParams, LpThresholds, RobustnessConfig};
 pub use lp::CarrefourLp;
 pub use robust::{CircuitBreaker, RetryQueue};
 pub use tables::{Mitosis, NumaPte, NumaPteConfig};

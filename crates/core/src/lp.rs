@@ -1,7 +1,7 @@
 //! Carrefour-LP: Algorithm 1 of the paper.
 
 use crate::classic::Carrefour;
-use crate::config::{CarrefourConfig, LpThresholds, RobustnessConfig};
+use crate::config::{CarrefourConfig, LpParams, LpThresholds, RobustnessConfig};
 use crate::lar;
 use crate::robust::{CircuitBreaker, RetryQueue};
 use engine::{EpochCtx, NumaPolicy, PolicyAction, PolicyDecision};
@@ -149,6 +149,24 @@ impl CarrefourLp {
     /// Overrides the Algorithm 1 thresholds (ablation benches).
     pub fn with_thresholds(mut self, thresholds: LpThresholds) -> Self {
         self.thresholds = thresholds;
+        self
+    }
+
+    /// Full Carrefour-LP under one [`LpParams`] coordinate — the sweep's
+    /// constructor. `LpParams::default()` reproduces [`CarrefourLp::new`]
+    /// exactly (same thresholds, same embedded-Carrefour seed), so a
+    /// default-parameterized cell is bit-identical to the stock policy.
+    pub fn with_params(params: LpParams) -> Self {
+        CarrefourLp::new()
+            .with_thresholds(params.thresholds)
+            .with_carrefour(params.carrefour, crate::classic::DEFAULT_SEED)
+            .with_robustness(params.robustness)
+    }
+
+    /// Renames the policy (the tuned preset reports itself distinctly in
+    /// traces and experiment output).
+    pub fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
         self
     }
 
@@ -814,6 +832,42 @@ mod tests {
                 ctx_a.queued(),
                 ctx_b.queued(),
                 "restored policy diverged at epoch {epoch}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_restore_keeps_custom_params_and_name() {
+        // The fork tree restores checkpoints into `with_params` instances
+        // (DESIGN.md §15): thresholds are *configuration*, not state, so a
+        // roundtrip must neither serialize nor clobber them — a restored
+        // tuned policy keeps making tuned decisions, under its own name.
+        use engine::NumaPolicy as _;
+        let machine = MachineSpec::machine_a();
+        let mut counters = quiet_counters();
+        counters.dram_local = 100;
+        counters.dram_remote = 900;
+        let samples = falsely_shared_samples();
+        let params = crate::LpParams::tuned();
+        let mut lp = CarrefourLp::with_params(params).named("carrefour-lp-tuned");
+        let mut ctx = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+        lp.on_epoch(&mut ctx);
+        let bytes = lp.save_state();
+
+        let mut restored = CarrefourLp::with_params(params).named("carrefour-lp-tuned");
+        restored.restore_state(&bytes);
+        assert_eq!(restored.name(), "carrefour-lp-tuned");
+        for epoch in 1..4u32 {
+            let mut ctx_a = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+            ctx_a.epoch_index = epoch;
+            lp.on_epoch(&mut ctx_a);
+            let mut ctx_b = ctx_with(&machine, &counters, &samples, ThpControls::thp());
+            ctx_b.epoch_index = epoch;
+            restored.on_epoch(&mut ctx_b);
+            assert_eq!(
+                ctx_a.queued(),
+                ctx_b.queued(),
+                "restored tuned policy diverged at epoch {epoch}"
             );
         }
     }

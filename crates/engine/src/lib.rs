@@ -50,8 +50,8 @@ pub use result::{
     AttributionLedger, EpochAttribution, EpochRecord, LifetimeStats, PageMetrics, RobustnessStats,
     SimResult,
 };
-pub use sim::Simulation;
+pub use sim::{env_override_u32, EpochBoundary, RunObserver, Simulation};
 pub use trace::{
-    CountingSink, DigestSink, EpochDigest, EpochSnap, EventKind, JsonlSink, PolicyDecision,
-    RingSink, TeeSink, TraceDigest, TraceEvent, TraceSink, VecSink,
+    epoch_output_fingerprint, CountingSink, DigestSink, EpochDigest, EpochSnap, EventKind,
+    JsonlSink, PolicyDecision, RingSink, TeeSink, TraceDigest, TraceEvent, TraceSink, VecSink,
 };

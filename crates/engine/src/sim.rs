@@ -8,13 +8,15 @@ use crate::result::{
     AttributionLedger, EpochAttribution, EpochRecord, LifetimeStats, PageMetrics, RobustnessStats,
     SimResult,
 };
-use crate::trace::{EpochSnap, TraceEvent, TraceSink};
+use crate::trace::{EpochSnap, PolicyDecision, TraceEvent, TraceSink};
 use memsys::{AccessKind, AccessOutcome, MemorySystem, ServiceLevel};
 use numa_topology::{CoreId, MachineSpec, NodeId};
 use profiling::{
     metrics, CoreFaultTime, CycleBreakdown, EpochCounters, IbsSample, IbsSampler, PageAccessStats,
 };
-use vmem::{AddressSpace, Mapping, PageSize, SpaceError, Tlb, TlbLookup, VirtAddr, WalkCache};
+use vmem::{
+    AddressSpace, Mapping, PageSize, SpaceError, ThpControls, Tlb, TlbLookup, VirtAddr, WalkCache,
+};
 use workloads::{WorkloadGen, WorkloadSpec};
 
 /// Runs complete workloads under a policy and produces [`SimResult`]s.
@@ -35,7 +37,61 @@ enum RunMode<'c> {
         out: &'c mut Option<Checkpoint>,
     },
     /// Restore state from `ckpt` and run from its epoch to completion.
-    Resume { ckpt: &'c Checkpoint },
+    /// `restore_policy` selects whether the policy's mutable state is
+    /// overwritten from the snapshot (a plain resume) or left as the caller
+    /// prepared it (a fork: the caller replayed a *different* policy up to
+    /// the checkpoint's boundary and wants the tail simulated under it).
+    Resume {
+        ckpt: &'c Checkpoint,
+        restore_policy: bool,
+    },
+}
+
+/// Everything the policy saw and did at one epoch boundary, handed to a
+/// [`RunObserver`] before the actions are applied. The inputs are exactly
+/// the values [`EpochCtx::new`] was built from (samples *after* fault
+/// filtering); the outputs are everything the engine consumes from the
+/// policy, plus their canonical FNV-1a fingerprint
+/// ([`crate::trace::epoch_output_fingerprint`]).
+pub struct EpochBoundary<'a> {
+    /// Index of the epoch that just closed.
+    pub epoch: u32,
+    /// Counters the policy read.
+    pub counters: &'a EpochCounters,
+    /// IBS samples the policy read (post fault-filter).
+    pub samples: &'a [IbsSample],
+    /// THP switches as the boundary opened.
+    pub thp: ThpControls,
+    /// Previous epoch's failed actions — `Some` exactly when fault
+    /// injection is active (mirrors the engine's `set_failures` call).
+    pub failures: Option<&'a [FailedAction]>,
+    /// Actions the policy queued, in issue order.
+    pub actions: &'a [PolicyAction],
+    /// Decisions the policy noted, in note order.
+    pub decisions: &'a [PolicyDecision],
+    /// Retries the policy recorded.
+    pub retries: u64,
+    /// `epoch_output_fingerprint(epoch, actions, decisions, retries)`.
+    pub fingerprint: u64,
+}
+
+/// Observes a run at epoch boundaries — the hook behind the bench runner's
+/// prefix-sharing fork tree. The observer receives every boundary's
+/// input/output record and may request a ckpt-v1 snapshot at any boundary
+/// with epoch ≥ 1 (the capture point that closes epoch `e-1` and begins
+/// epoch `e`). Attaching an observer never changes simulation results: the
+/// only side effect is that IBS sample storage stays on even for policies
+/// that don't consume samples, which the engine already guarantees is
+/// observationally neutral (the NMI count and its overhead are unchanged).
+pub trait RunObserver {
+    /// Called at every epoch boundary, after the policy ran and before its
+    /// actions are applied.
+    fn on_boundary(&mut self, b: &EpochBoundary<'_>);
+    /// Whether to capture a checkpoint at the boundary beginning `epoch`.
+    fn want_checkpoint(&mut self, epoch: u32) -> bool;
+    /// Receives the checkpoint requested by
+    /// [`RunObserver::want_checkpoint`].
+    fn on_checkpoint(&mut self, ckpt: Checkpoint);
 }
 
 /// splitmix64 finalizer: a stride-proof mixing function for deterministic
@@ -966,8 +1022,42 @@ impl Simulation {
         setup: impl FnOnce(&mut AddressSpace),
         sink: Option<&mut dyn TraceSink>,
     ) -> SimResult {
-        Simulation::run_internal(machine, spec, config, policy, setup, sink, RunMode::Full)
-            .expect("a full run always produces a result")
+        Simulation::run_internal(
+            machine,
+            spec,
+            config,
+            policy,
+            setup,
+            sink,
+            None,
+            RunMode::Full,
+        )
+        .expect("a full run always produces a result")
+    }
+
+    /// Like [`Simulation::run_traced`] (the `sink` is optional), with a
+    /// [`RunObserver`] attached: the observer sees every epoch boundary's
+    /// policy inputs/outputs and may capture checkpoints at boundaries.
+    /// Results are bit-identical to an unobserved run.
+    pub fn run_observed(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        sink: Option<&mut dyn TraceSink>,
+        observer: &mut dyn RunObserver,
+    ) -> SimResult {
+        Simulation::run_internal(
+            machine,
+            spec,
+            config,
+            policy,
+            |_| {},
+            sink,
+            Some(observer),
+            RunMode::Full,
+        )
+        .expect("a full run always produces a result")
     }
 
     /// Runs like [`Simulation::run`] until the epoch boundary that begins
@@ -1007,6 +1097,7 @@ impl Simulation {
             policy,
             setup,
             sink,
+            None,
             RunMode::CheckpointAt {
                 epoch,
                 out: &mut out,
@@ -1048,7 +1139,56 @@ impl Simulation {
             policy,
             setup,
             sink,
-            RunMode::Resume { ckpt },
+            None,
+            RunMode::Resume {
+                ckpt,
+                restore_policy: true,
+            },
+        )
+        .expect("a resumed run always produces a result")
+    }
+
+    /// Continues a run from `ckpt` under a policy whose state the *caller*
+    /// prepared — the fork half of the runner's prefix-sharing tree. Unlike
+    /// [`Simulation::resume`], the policy's mutable state is **not**
+    /// restored from the snapshot: `policy` must already be in the state a
+    /// policy has after exactly `ckpt.epoch()` `on_epoch` calls (epochs
+    /// `0..ckpt.epoch()`), which the fork tree establishes by replaying the
+    /// recorded boundary inputs against a freshly constructed instance.
+    /// Everything else (address space, caches, sampler, fault state, RNGs)
+    /// is restored from the snapshot as usual.
+    pub fn resume_forked(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        ckpt: &Checkpoint,
+    ) -> SimResult {
+        Simulation::resume_forked_traced(machine, spec, config, policy, None, ckpt)
+    }
+
+    /// [`Simulation::resume_forked`] with a trace `sink`; events continue
+    /// from the checkpoint's boundary exactly as [`Simulation::resume_traced`]'s do.
+    pub fn resume_forked_traced(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        sink: Option<&mut dyn TraceSink>,
+        ckpt: &Checkpoint,
+    ) -> SimResult {
+        Simulation::run_internal(
+            machine,
+            spec,
+            config,
+            policy,
+            |_| {},
+            sink,
+            None,
+            RunMode::Resume {
+                ckpt,
+                restore_policy: false,
+            },
         )
         .expect("a resumed run always produces a result")
     }
@@ -1057,6 +1197,7 @@ impl Simulation {
     /// where the run starts (fresh or from a snapshot) and whether it stops
     /// early at a checkpoint boundary. Returns `None` exactly when a
     /// requested checkpoint was taken.
+    #[allow(clippy::too_many_arguments)]
     fn run_internal(
         machine: &MachineSpec,
         spec: &WorkloadSpec,
@@ -1064,6 +1205,7 @@ impl Simulation {
         policy: &mut dyn NumaPolicy,
         setup: impl FnOnce(&mut AddressSpace),
         sink: Option<&mut dyn TraceSink>,
+        mut observer: Option<&mut dyn RunObserver>,
         mut mode: RunMode<'_>,
     ) -> Option<SimResult> {
         assert!(
@@ -1118,8 +1260,11 @@ impl Simulation {
         };
         // A policy that never reads samples (and no fault filter to feed)
         // makes sample storage dead work: elide it. The NMI count and its
-        // overhead are unchanged, so results are bit-identical.
-        if !policy.consumes_samples() && !st.faults.is_active() {
+        // overhead are unchanged, so results are bit-identical. An attached
+        // observer needs the stored samples (its boundary records feed
+        // sibling policies that may consume them), so it keeps storage on —
+        // which, per the same argument, never changes results.
+        if !policy.consumes_samples() && !st.faults.is_active() && observer.is_none() {
             st.sampler.set_store(false);
         }
         let total_rounds = gen.total_rounds();
@@ -1134,10 +1279,7 @@ impl Simulation {
         // every epoch boundary, so lanes donated mid-suite are picked up at
         // the next chunk. The lane count NEVER affects results — only how
         // many OS threads compute them (DESIGN.md §14).
-        let shard_request = std::env::var("CARREFOUR_SHARDS")
-            .ok()
-            .and_then(|v| v.parse::<u32>().ok())
-            .unwrap_or(config.shards);
+        let shard_request = env_override_u32("CARREFOUR_SHARDS").unwrap_or(config.shards);
         let node_groups = lane_node_groups(machine, spec.threads);
 
         // Loop-carried run state, declared before the mode branch so a
@@ -1167,7 +1309,11 @@ impl Simulation {
         let mut core_totals = vec![CycleBreakdown::default(); attrib_threads];
         let mut attrib_epochs: Vec<EpochAttribution> = Vec::new();
 
-        if let RunMode::Resume { ckpt } = &mode {
+        if let RunMode::Resume {
+            ckpt,
+            restore_policy,
+        } = &mode
+        {
             assert!(
                 ckpt.matches(machine, spec, config),
                 "checkpoint was taken under a different machine/spec/config"
@@ -1175,6 +1321,7 @@ impl Simulation {
             restore_checkpoint(
                 ckpt,
                 policy,
+                *restore_policy,
                 &mut gen,
                 &mut st,
                 &mut wall,
@@ -1416,28 +1563,44 @@ impl Simulation {
                 mem_ops: epoch_ops,
             };
 
-            let mut ctx = EpochCtx::new(
-                machine,
-                &counters,
-                &samples,
-                st.space.get().thp(),
-                epoch_index,
-            );
-            if st.faults.is_active() {
+            let boundary_thp = st.space.get().thp();
+            let mut ctx = EpochCtx::new(machine, &counters, &samples, boundary_thp, epoch_index);
+            let failures_fed = st.faults.is_active();
+            if failures_fed {
                 ctx.set_failures(&last_failures);
             }
-            if st.trace.is_some() {
+            if st.trace.is_some() || observer.is_some() {
                 ctx.enable_decision_log();
             }
             policy.on_epoch(&mut ctx);
             let actions = ctx.take_actions();
-            for decision in ctx.take_decisions() {
+            let decisions = ctx.take_decisions();
+            let retries = ctx.retries_recorded();
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_boundary(&EpochBoundary {
+                    epoch: epoch_index,
+                    counters: &counters,
+                    samples: &samples,
+                    thp: boundary_thp,
+                    failures: failures_fed.then_some(last_failures.as_slice()),
+                    actions: &actions,
+                    decisions: &decisions,
+                    retries,
+                    fingerprint: crate::trace::epoch_output_fingerprint(
+                        epoch_index,
+                        &actions,
+                        &decisions,
+                        retries,
+                    ),
+                });
+            }
+            for decision in decisions {
                 st.emit(|| TraceEvent::Decision {
                     epoch: epoch_index,
                     decision,
                 });
             }
-            st.robust.retries += ctx.retries_recorded();
+            st.robust.retries += retries;
             let mut failures: Vec<FailedAction> = Vec::new();
             let (migrations, splits, action_costs) = st.apply_actions(actions, &mut failures);
             let action_cost = action_costs.total();
@@ -1554,7 +1717,32 @@ impl Simulation {
 
             // The snapshot point: the boundary that closed `epoch_index - 1`
             // and began `epoch_index`. Per-epoch accumulators are freshly
-            // reset here, which keeps the payload minimal.
+            // reset here, which keeps the payload minimal. An observer may
+            // capture here too (every boundary, not just one target epoch),
+            // which is what lets the fork tree snapshot a whole probe run
+            // in a single pass instead of O(epochs) re-runs.
+            if let Some(obs) = observer.as_deref_mut() {
+                if obs.want_checkpoint(epoch_index) {
+                    obs.on_checkpoint(capture_checkpoint(
+                        machine,
+                        spec,
+                        config,
+                        &*policy,
+                        &gen,
+                        &st,
+                        epoch_index,
+                        wall,
+                        total_ops,
+                        overhead_total,
+                        &epochs,
+                        &last_failures,
+                        attrib_on,
+                        &prelude_bd,
+                        &core_totals,
+                        &attrib_epochs,
+                    ));
+                }
+            }
             if let RunMode::CheckpointAt { epoch, out } = &mut mode {
                 if epoch_index == *epoch {
                     **out = Some(capture_checkpoint(
@@ -1686,6 +1874,57 @@ impl Simulation {
     }
 }
 
+/// Reads `$name` as a `u32` override. Unset → `None` (auto). Set but
+/// unparseable → a loud stderr warning and `None`: a typo'd override
+/// silently pinning behaviour to the default is far worse than noise.
+/// Shared by `CARREFOUR_SHARDS` here and the bench runner's
+/// `CARREFOUR_JOBS` / `CARREFOUR_FORK_CACHE_MB`.
+pub fn env_override_u32(name: &str) -> Option<u32> {
+    parse_env_override(name, std::env::var(name).ok().as_deref())
+}
+
+/// The pure half of [`env_override_u32`], split out so tests don't race on
+/// process-global environment state.
+fn parse_env_override(name: &str, raw: Option<&str>) -> Option<u32> {
+    let raw = raw?;
+    match raw.trim().parse::<u32>() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!(
+                "warning: ignoring {name}={raw:?}: not a non-negative integer, falling back to auto"
+            );
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod env_override_tests {
+    use super::parse_env_override;
+
+    #[test]
+    fn unset_is_auto() {
+        assert_eq!(parse_env_override("CARREFOUR_SHARDS", None), None);
+    }
+
+    #[test]
+    fn valid_values_parse_with_whitespace_tolerance() {
+        assert_eq!(parse_env_override("CARREFOUR_SHARDS", Some("4")), Some(4));
+        assert_eq!(
+            parse_env_override("CARREFOUR_SHARDS", Some(" 12 ")),
+            Some(12)
+        );
+        assert_eq!(parse_env_override("CARREFOUR_SHARDS", Some("0")), Some(0));
+    }
+
+    #[test]
+    fn garbage_warns_and_falls_back_to_auto() {
+        for bad in ["four", "-1", "3.5", "", "0x10", "9999999999999999999"] {
+            assert_eq!(parse_env_override("CARREFOUR_JOBS", Some(bad)), None);
+        }
+    }
+}
+
 /// Serializes everything a mid-stream resume needs, in `ckpt-v1` payload
 /// order. [`restore_checkpoint`] mirrors this exactly; any change to either
 /// must extend the schema descriptor in [`crate::checkpoint`].
@@ -1750,6 +1989,7 @@ fn capture_checkpoint(
 fn restore_checkpoint(
     ckpt: &Checkpoint,
     policy: &mut dyn NumaPolicy,
+    restore_policy: bool,
     gen: &mut WorkloadGen,
     st: &mut SimState<'_, '_, '_>,
     wall: &mut u64,
@@ -1821,7 +2061,12 @@ fn restore_checkpoint(
     }
     let policy_bytes = d.bytes().to_vec();
     d.finish();
-    policy.restore_state(&policy_bytes);
+    // A fork (`restore_policy == false`) keeps the caller-prepared policy
+    // state: the snapshot's policy bytes belong to the *probe* policy, not
+    // the sibling about to run the tail.
+    if restore_policy {
+        policy.restore_state(&policy_bytes);
+    }
 }
 
 /// One shard lane's slice of the machine: the threads it simulates and

@@ -241,6 +241,125 @@ pub struct EpochSnap {
     pub thp_promote: bool,
 }
 
+/// Canonical hash words for one [`PolicyAction`]: a discriminant word
+/// followed by the action's fields. Shared by [`TraceEvent::hash_into`] and
+/// [`epoch_output_fingerprint`] so the two encodings can never drift.
+fn action_words(a: &PolicyAction, h: &mut Fnv64) {
+    match a {
+        PolicyAction::Migrate(v, n) => {
+            h.word(0);
+            h.word(*v);
+            h.word(u64::from(n.0));
+        }
+        PolicyAction::Split(v) => {
+            h.word(1);
+            h.word(*v);
+        }
+        PolicyAction::SplitScatter(v) => {
+            h.word(2);
+            h.word(*v);
+        }
+        PolicyAction::Replicate(v) => {
+            h.word(3);
+            h.word(*v);
+        }
+        PolicyAction::SetThpAlloc(b) => {
+            h.word(4);
+            h.word(u64::from(*b));
+        }
+        PolicyAction::SetThpPromote(b) => {
+            h.word(5);
+            h.word(u64::from(*b));
+        }
+        PolicyAction::ReplicateTables => {
+            h.word(6);
+        }
+        PolicyAction::MigrateTables(v, n) => {
+            h.word(7);
+            h.word(*v);
+            h.word(u64::from(n.0));
+        }
+    }
+}
+
+/// Canonical hash words for one [`PolicyDecision`] (discriminant word, then
+/// fields; floats by bit pattern). Shared by [`TraceEvent::hash_into`] and
+/// [`epoch_output_fingerprint`].
+fn decision_words(d: &PolicyDecision, h: &mut Fnv64) {
+    match d {
+        PolicyDecision::EnableThp {
+            walk_miss_fraction,
+            max_fault_fraction,
+            promote,
+        } => {
+            h.word(0);
+            h.word(walk_miss_fraction.to_bits());
+            h.word(max_fault_fraction.to_bits());
+            h.word(u64::from(*promote));
+        }
+        PolicyDecision::SplitFlag {
+            on,
+            carrefour_gain_pp,
+            split_gain_pp,
+        } => {
+            h.word(1);
+            h.word(u64::from(*on));
+            h.word(carrefour_gain_pp.to_bits());
+            h.word(split_gain_pp.to_bits());
+        }
+        PolicyDecision::SplitShared { base, sharers } => {
+            h.word(2);
+            h.word(*base);
+            h.word(*sharers as u64);
+        }
+        PolicyDecision::SplitHot {
+            base,
+            samples,
+            total,
+            imbalance,
+        } => {
+            h.word(3);
+            h.word(*base);
+            h.word(u64::from(*samples));
+            h.word(u64::from(*total));
+            h.word(imbalance.to_bits());
+        }
+        PolicyDecision::BreakerTrip { breaker } => {
+            h.word(4);
+            h.bytes(breaker.as_bytes());
+        }
+    }
+}
+
+/// FNV-1a fingerprint of one epoch boundary's complete policy output: the
+/// queued actions in issue order, the noted Algorithm-1 decisions in note
+/// order, and the retry count the policy recorded. Given equal inputs, two
+/// policies whose boundary outputs fingerprint equal drive the engine
+/// identically through that boundary — the engine consumes *nothing else*
+/// from the policy — which is the soundness basis of the runner's
+/// prefix-sharing fork tree (DESIGN.md §15). The decision log alone would
+/// not suffice: Carrefour's placement pass issues migrations it never
+/// `note`s, so the fingerprint covers the action queue too.
+pub fn epoch_output_fingerprint(
+    epoch: u32,
+    actions: &[PolicyAction],
+    decisions: &[PolicyDecision],
+    retries: u64,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.word(u64::from(epoch));
+    h.word(actions.len() as u64);
+    for a in actions {
+        action_words(a, &mut h);
+    }
+    h.word(decisions.len() as u64);
+    for d in decisions {
+        decision_words(d, &mut h);
+    }
+    h.word(retries);
+    h.value()
+}
+
 impl TraceEvent {
     /// Short kind tag (used by counting sinks and the timeline renderer).
     pub fn kind(&self) -> EventKind {
@@ -289,43 +408,6 @@ impl TraceEvent {
                 PageSize::Size4K => 0,
                 PageSize::Size2M => 1,
                 PageSize::Size1G => 2,
-            }
-        }
-        fn action_words(a: &PolicyAction, h: &mut Fnv64) {
-            match a {
-                PolicyAction::Migrate(v, n) => {
-                    h.word(0);
-                    h.word(*v);
-                    h.word(u64::from(n.0));
-                }
-                PolicyAction::Split(v) => {
-                    h.word(1);
-                    h.word(*v);
-                }
-                PolicyAction::SplitScatter(v) => {
-                    h.word(2);
-                    h.word(*v);
-                }
-                PolicyAction::Replicate(v) => {
-                    h.word(3);
-                    h.word(*v);
-                }
-                PolicyAction::SetThpAlloc(b) => {
-                    h.word(4);
-                    h.word(u64::from(*b));
-                }
-                PolicyAction::SetThpPromote(b) => {
-                    h.word(5);
-                    h.word(u64::from(*b));
-                }
-                PolicyAction::ReplicateTables => {
-                    h.word(6);
-                }
-                PolicyAction::MigrateTables(v, n) => {
-                    h.word(7);
-                    h.word(*v);
-                    h.word(u64::from(n.0));
-                }
             }
         }
         h.word(self.kind() as u64);
@@ -393,49 +475,7 @@ impl TraceEvent {
             }
             TraceEvent::Decision { epoch, decision } => {
                 h.word(u64::from(*epoch));
-                match decision {
-                    PolicyDecision::EnableThp {
-                        walk_miss_fraction,
-                        max_fault_fraction,
-                        promote,
-                    } => {
-                        h.word(0);
-                        h.word(walk_miss_fraction.to_bits());
-                        h.word(max_fault_fraction.to_bits());
-                        h.word(u64::from(*promote));
-                    }
-                    PolicyDecision::SplitFlag {
-                        on,
-                        carrefour_gain_pp,
-                        split_gain_pp,
-                    } => {
-                        h.word(1);
-                        h.word(u64::from(*on));
-                        h.word(carrefour_gain_pp.to_bits());
-                        h.word(split_gain_pp.to_bits());
-                    }
-                    PolicyDecision::SplitShared { base, sharers } => {
-                        h.word(2);
-                        h.word(*base);
-                        h.word(*sharers as u64);
-                    }
-                    PolicyDecision::SplitHot {
-                        base,
-                        samples,
-                        total,
-                        imbalance,
-                    } => {
-                        h.word(3);
-                        h.word(*base);
-                        h.word(u64::from(*samples));
-                        h.word(u64::from(*total));
-                        h.word(imbalance.to_bits());
-                    }
-                    PolicyDecision::BreakerTrip { breaker } => {
-                        h.word(4);
-                        h.bytes(breaker.as_bytes());
-                    }
-                }
+                decision_words(decision, h);
             }
             TraceEvent::ActionFailed {
                 epoch,

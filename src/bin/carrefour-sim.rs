@@ -12,7 +12,7 @@
 //! machine/bench/policy, missing value) prints usage and exits 2. Same
 //! arguments → byte-identical output, including `--json`.
 
-use carrefour::{Carrefour, CarrefourLp, Mitosis, NumaPte};
+use carrefour::{Carrefour, CarrefourLp, LpParams, Mitosis, NumaPte};
 use engine::{FaultConfig, NullPolicy, NumaPolicy, SimConfig, SimResult, Simulation};
 use numa_topology::MachineSpec;
 use std::process::ExitCode;
@@ -27,6 +27,7 @@ const POLICIES: &[&str] = &[
     "conservative",
     "reactive",
     "carrefour-lp",
+    "carrefour-lp-tuned",
     "carrefour-lp-noretry",
     "mitosis",
     "numapte",
@@ -79,6 +80,10 @@ fn make_policy(name: &str) -> Option<(Box<dyn NumaPolicy>, ThpControls)> {
         ),
         "reactive" => (Box::new(CarrefourLp::reactive_only()), ThpControls::thp()),
         "carrefour-lp" => (Box::new(CarrefourLp::new()), ThpControls::thp()),
+        "carrefour-lp-tuned" => (
+            Box::new(CarrefourLp::with_params(LpParams::tuned()).named("carrefour-lp-tuned")),
+            ThpControls::thp(),
+        ),
         "carrefour-lp-noretry" => (Box::new(CarrefourLp::without_retries()), ThpControls::thp()),
         "mitosis" => (Box::new(Mitosis::new()), ThpControls::small_only()),
         "numapte" => (Box::new(NumaPte::new()), ThpControls::small_only()),

@@ -31,8 +31,8 @@ pub mod prelude {
     //! Everything a simulation driver typically needs, one import away.
 
     pub use carrefour::{
-        Carrefour, CarrefourConfig, CarrefourLp, LpThresholds, Mitosis, NumaPte, NumaPteConfig,
-        RobustnessConfig,
+        Carrefour, CarrefourConfig, CarrefourLp, LpParams, LpThresholds, Mitosis, NumaPte,
+        NumaPteConfig, RobustnessConfig,
     };
     pub use engine::{
         ActionError, Checkpoint, CheckpointError, CountingSink, DigestSink, EpochCtx, EpochDigest,
