@@ -9,7 +9,7 @@
 //! (schema in DESIGN.md §10).
 
 use carrefour_bench::runner::{self, CellOutcome, Progress, TimedCell};
-use carrefour_bench::{attrib, experiments, journal};
+use carrefour_bench::{attrib, experiments, journal, logx};
 use std::collections::HashMap;
 
 /// The journal suite name: one journal serves the whole binary, whatever
@@ -60,14 +60,14 @@ fn main() {
         exp_slots.push(slots);
     }
     let submitted: usize = exps.iter().map(|e| e.specs.len()).sum();
-    eprintln!(
+    logx::info(&format!(
         "[all] {} experiments, {} cells ({} unique), {} jobs on {} cores",
         exps.len(),
         submitted,
         unique.len(),
         jobs,
         host_cores
-    );
+    ));
 
     // The crash journal. A fresh run starts it over; `--resume` keeps it
     // and pre-fills every cell the previous (killed or failed) run already
@@ -79,10 +79,10 @@ fn main() {
     let jnl = match journal::Journal::open_append(SUITE) {
         Ok(j) => Some(j),
         Err(e) => {
-            eprintln!(
-                "warning: running without a crash journal: cannot open {}: {e}",
+            logx::warn(&format!(
+                "running without a crash journal: cannot open {}: {e}",
                 journal::journal_path(SUITE).display()
-            );
+            ));
             None
         }
     };
@@ -101,24 +101,26 @@ fn main() {
                 wall_secs: j.wall_secs,
                 // The journal stores results, not scheduler metadata;
                 // the estimate is a pure function of the spec, so
-                // recomputing it here keeps restored rows honest.
+                // recomputing it here keeps restored rows honest. Spans
+                // are honest zeros: the work happened in a dead process.
                 estimated_ops: unique[i].estimated_ops(),
+                spans: runner::CellSpans::journal_restored(),
             })
         })
         .collect();
     if resume {
         let restored = filled.iter().filter(|s| s.is_some()).count();
-        eprintln!(
+        logx::info(&format!(
             "[all] resume: {restored} of {} cells restored from {}",
             unique.len(),
             journal::journal_path(SUITE).display()
-        );
+        ));
         if stale > 0 {
             // Later-line-wins fired: an interrupted append or a retried
             // cell left earlier lines for the same key behind.
-            eprintln!(
+            logx::info(&format!(
                 "[all] resume: skipped {stale} stale duplicate journal line(s) (later line wins)"
-            );
+            ));
         }
     }
 
@@ -138,10 +140,10 @@ fn main() {
         match outcome {
             CellOutcome::Ok(t) => filled[slot] = Some(t),
             CellOutcome::TimedOut { secs, result } => {
-                eprintln!(
-                    "[all] warning: cell {} finished past the soft deadline ({secs:.1}s)",
-                    unique[slot].describe()
-                );
+                logx::warn(&format!(
+                    "[all] cell {} finished past the soft deadline ({secs:.1}s)",
+                    unique[slot].describe_with_family()
+                ));
                 filled[slot] = Some(result);
             }
             CellOutcome::Panicked { msg } => {
@@ -169,11 +171,11 @@ fn main() {
     }
 
     if !failed.is_empty() {
-        eprintln!("[all] {} cell(s) FAILED:", failed.len());
+        logx::warn(&format!("[all] {} cell(s) FAILED:", failed.len()));
         for (what, msg) in &failed {
-            eprintln!("[all]   {what}: {msg}");
+            logx::warn(&format!("[all]   {what}: {msg}"));
         }
-        eprintln!("[all] rerun with --resume to retry only the failed cells");
+        logx::warn("[all] rerun with --resume to retry only the failed cells");
         std::process::exit(1);
     }
 
@@ -208,16 +210,19 @@ fn main() {
         match std::fs::create_dir_all("results")
             .and_then(|()| std::fs::write("results/ATTRIB_all.json", attrib::baseline_json(&cells)))
         {
-            Ok(()) => eprintln!(
+            Ok(()) => logx::info(&format!(
                 "[all] wrote results/ATTRIB_all.json ({} cells)",
                 cells.len()
-            ),
-            Err(e) => eprintln!("warning: could not write results/ATTRIB_all.json: {e}"),
+            )),
+            Err(e) => logx::warn(&format!("could not write results/ATTRIB_all.json: {e}")),
         }
     }
 
     if let Some(path) = compare {
-        compare_against_baseline(&path, &exps, &exp_slots, &timed, total_wall_secs);
+        // This suite runs every unique cell from scratch (DESIGN.md §15),
+        // so its own reuse count is an honest 0 — the gate still compares
+        // it against the baseline's figure.
+        compare_against_baseline(&path, &exps, &exp_slots, &timed, total_wall_secs, 0);
     }
 }
 
@@ -295,17 +300,24 @@ fn compare_against_baseline(
     exp_slots: &[Vec<usize>],
     timed: &[TimedCell],
     total_wall_secs: f64,
+    epochs_reused_now: u64,
 ) {
     let Ok(base) = std::fs::read_to_string(path) else {
-        eprintln!("[all] --compare: cannot read {path}; skipping comparison");
+        logx::info(&format!(
+            "[all] --compare: cannot read {path}; skipping comparison"
+        ));
         return;
     };
     let mut base_exps: HashMap<String, f64> = HashMap::new();
     let mut base_total: Option<f64> = None;
+    let mut base_reused: Option<f64> = None;
     let mut in_experiments = false;
     for line in base.lines() {
         if let Some(t) = json_f64(line, "total_wall_secs") {
             base_total = Some(t);
+        }
+        if let Some(r) = json_f64(line, "epochs_reused") {
+            base_reused = Some(r);
         }
         if line.contains("\"experiments\": [") {
             in_experiments = true;
@@ -323,7 +335,7 @@ fn compare_against_baseline(
         }
     }
     let owner = owners(exp_slots, timed.len());
-    eprintln!("[all] comparison against {path}:");
+    logx::info(&format!("[all] comparison against {path}:"));
     let mut regressions = 0usize;
     for (i, e) in exps.iter().enumerate() {
         let now = owned_secs(&owner, timed, i);
@@ -340,20 +352,20 @@ fn compare_against_baseline(
         } else {
             ""
         };
-        eprintln!(
+        logx::info(&format!(
             "[all]   {:<12} {:>8.3}s -> {:>8.3}s  ({:.2}x){}",
             e.name, before, now, ratio, note
-        );
+        ));
     }
     if let Some(bt) = base_total {
         if bt > 0.0 && total_wall_secs > 0.0 {
-            eprintln!(
+            logx::info(&format!(
                 "[all]   {:<12} {:>8.3}s -> {:>8.3}s  ({:.2}x)",
                 "TOTAL",
                 bt,
                 total_wall_secs,
                 bt / total_wall_secs
-            );
+            ));
             if total_wall_secs > bt * 1.25 {
                 regressions += 1;
             }
@@ -365,6 +377,23 @@ fn compare_against_baseline(
             "::warning::all_experiments is >25% slower than {path} in {regressions} row(s); \
              see the comparison table in the job log"
         );
+    }
+    // Epoch-reuse regressions, soft-gated the same way: a baseline that
+    // shared prefix epochs while this run shares >25% fewer means the
+    // fork-tree stopped helping (a dedup key or family split broke),
+    // which wall-clock noise can mask on a fast host.
+    if let Some(before) = base_reused {
+        let now = epochs_reused_now as f64;
+        logx::info(&format!(
+            "[all]   {:<12} {:>8.0} -> {:>8.0} epochs reused",
+            "REUSE", before, now
+        ));
+        if before > 0.0 && now < before * 0.75 {
+            println!(
+                "::warning::all_experiments reused {now:.0} prefix epochs vs {before:.0} in \
+                 {path} (>25% drop); fork-tree sharing may have regressed"
+            );
+        }
     }
 }
 
@@ -400,7 +429,8 @@ fn owned_secs(owner: &[usize], timed: &[TimedCell], i: usize) -> f64 {
 }
 
 /// Writes `results/BENCH_runner.json` (best effort, like `save_json`).
-/// The schema is documented in DESIGN.md §10.
+/// The schema is documented in DESIGN.md §10 (v1–v4) and §16 (v5: the
+/// per-cell span fields and the suite-level `spans` rollup).
 fn write_bench_runner_json(
     exps: &[experiments::Experiment],
     exp_slots: &[Vec<usize>],
@@ -411,7 +441,7 @@ fn write_bench_runner_json(
 ) {
     let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"bench-runner-v4\",\n");
+    out.push_str("  \"schema\": \"bench-runner-v5\",\n");
     out.push_str(&format!(
         "  \"shards\": \"{}\",\n",
         esc(&std::env::var("CARREFOUR_SHARDS").unwrap_or_else(|_| "auto".into()))
@@ -437,6 +467,42 @@ fn write_bench_runner_json(
     out.push_str(&format!("  \"epochs_simulated\": {epochs_simulated},\n"));
     out.push_str("  \"epochs_reused\": 0,\n");
     out.push_str("  \"families\": [],\n");
+    // Span rollup (new in v5). Sums cover only cells run by *this*
+    // process: journal-restored rows carry zero spans (from_journal),
+    // so a resumed suite's rollup stays honest about where its own
+    // wall-clock went. Worker count and lane occupancy come from the
+    // same per-cell samples the report's timeline view draws.
+    let live: Vec<&TimedCell> = timed.iter().filter(|t| !t.spans.from_journal).collect();
+    let queue_wait: f64 = live.iter().map(|t| t.spans.queue_wait_secs).sum();
+    let simulate: f64 = live.iter().map(|t| t.spans.simulate_secs).sum();
+    let merge: f64 = live.iter().map(|t| t.spans.merge_secs).sum();
+    let workers_used = live
+        .iter()
+        .map(|t| t.spans.worker)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    let lanes_free_min = live
+        .iter()
+        .map(|t| t.spans.lanes_free_start.min(t.spans.lanes_free_done))
+        .min()
+        .unwrap_or(0);
+    let lanes_free_max = live
+        .iter()
+        .map(|t| t.spans.lanes_free_start.max(t.spans.lanes_free_done))
+        .max()
+        .unwrap_or(0);
+    out.push_str(&format!(
+        "  \"spans\": {{\"live_cells\": {}, \"queue_wait_total_secs\": {:.3}, \
+         \"simulate_total_secs\": {:.3}, \"merge_total_secs\": {:.3}, \
+         \"workers_used\": {}, \"lanes_free_min\": {}, \"lanes_free_max\": {}}},\n",
+        live.len(),
+        queue_wait,
+        simulate,
+        merge,
+        workers_used,
+        lanes_free_min,
+        lanes_free_max,
+    ));
     // Attribute each unique cell's cost to the first experiment that
     // submitted it, so per-experiment seconds sum to the cell total.
     let owner = owners(exp_slots, timed.len());
@@ -460,13 +526,18 @@ fn write_bench_runner_json(
     out.push_str("  \"cells\": [\n");
     for (i, t) in timed.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"machine\": \"{}\", \"benchmark\": \"{}\", \"policy\": \"{}\", \"wall_secs\": {:.3}, \"estimated_ops\": {}, \"actual_ops\": {}}}{}\n",
+            "    {{\"machine\": \"{}\", \"benchmark\": \"{}\", \"policy\": \"{}\", \"wall_secs\": {:.3}, \"estimated_ops\": {}, \"actual_ops\": {}, \"queue_wait_secs\": {:.3}, \"merge_secs\": {:.3}, \"worker\": {}, \"lanes_free_start\": {}, \"from_journal\": {}}}{}\n",
             esc(&t.cell.machine),
             esc(&t.cell.benchmark),
             esc(&t.cell.policy),
             t.wall_secs,
             t.estimated_ops,
             t.cell.result.lifetime.total_ops,
+            t.spans.queue_wait_secs,
+            t.spans.merge_secs,
+            t.spans.worker,
+            t.spans.lanes_free_start,
+            t.spans.from_journal,
             if i + 1 < timed.len() { "," } else { "" }
         ));
     }
@@ -474,7 +545,7 @@ fn write_bench_runner_json(
     match std::fs::create_dir_all("results")
         .and_then(|()| std::fs::write("results/BENCH_runner.json", &out))
     {
-        Ok(()) => eprintln!("[all] wrote results/BENCH_runner.json"),
-        Err(e) => eprintln!("warning: could not write results/BENCH_runner.json: {e}"),
+        Ok(()) => logx::info("[all] wrote results/BENCH_runner.json"),
+        Err(e) => logx::warn(&format!("could not write results/BENCH_runner.json: {e}")),
     }
 }

@@ -30,7 +30,7 @@
 use carrefour::LpParams;
 use carrefour_bench::forktree::{self, FamilyStats};
 use carrefour_bench::runner::{self, CellSpec};
-use carrefour_bench::{attrib, PolicyKind};
+use carrefour_bench::{attrib, logx, PolicyKind};
 use engine::SimResult;
 use numa_topology::MachineSpec;
 use std::collections::HashMap;
@@ -316,13 +316,13 @@ fn run_full(out_path: &str, share: bool, jobs: usize) {
         })
         .collect();
     let mut candidates = full_grid();
-    eprintln!(
+    logx::info(&format!(
         "[sweep] full: {} families x (1 probe + {} grid candidates), {} jobs, share={}",
         families.len(),
         candidates.len(),
         jobs,
         share
-    );
+    ));
 
     // runtimes[cand_id][family_idx]; the probe's own runtimes separately.
     let mut base: Vec<Scored> = Vec::new();
@@ -346,12 +346,12 @@ fn run_full(out_path: &str, share: bool, jobs: usize) {
                 scored.entry(c.id).or_default().push(keep(&cell.result));
             }
         }
-        eprintln!(
+        logx::info(&format!(
             "[sweep] round {round}: {} candidates scored, {} epochs simulated / {} reused so far",
             scored.len(),
             stats.epochs_simulated,
             stats.epochs_reused
-        );
+        ));
 
         round += 1;
         if round > 2 {
@@ -367,13 +367,13 @@ fn run_full(out_path: &str, share: bool, jobs: usize) {
         let grew = diagnose(&base[worst_fi], &scored[&best.id][worst_fi]);
         let (axis, values) = axis_for(grew);
         let fam = &families[worst_fi];
-        eprintln!(
+        logx::info(&format!(
             "[sweep] round {round}: winner `{}`; {} on {}/{} grew -> perturbing {axis}",
             best.label,
             grew,
             fam.bench.name(),
             fam.machine.name()
-        );
+        ));
         refinements.push(Refinement {
             round,
             diagnosed_family: format!("{}/{}", fam.bench.name(), fam.machine.name()),
@@ -410,13 +410,13 @@ fn run_full(out_path: &str, share: bool, jobs: usize) {
     let (winner, winner_score) = pick_winner(&frontier);
     let total_cells = stats.cells;
     let wall = started.elapsed().as_secs_f64();
-    eprintln!(
+    logx::info(&format!(
         "[sweep] {} candidates over {} families ({} cells) in {:.1}s",
         candidates.len(),
         families.len(),
         total_cells,
         wall
-    );
+    ));
     print_share_report(&stats);
     println!("== Threshold sweep: Pareto frontier (mean speedup vs worst regression) ==");
     for (c, s) in &frontier {
@@ -525,12 +525,12 @@ fn run_smoke(out_path: &str, share: bool, jobs: usize) {
         },
     ];
     let candidates = smoke_grid();
-    eprintln!(
+    logx::info(&format!(
         "[sweep] smoke: {} families x (1 probe + {} candidates), share={}",
         families.len(),
         candidates.len(),
         share
-    );
+    ));
     let (shared_cells, stats) = run_wave(&families, &candidates, share, true, jobs);
     let (scratch_cells, scratch_stats) = run_wave(&families, &candidates, false, true, jobs);
 
@@ -664,6 +664,14 @@ fn write_json(
     out.push_str(&format!("  \"full_matches\": {},\n", stats.full_matches));
     out.push_str(&format!("  \"forks\": {},\n", stats.forks));
     out.push_str(&format!("  \"scratch\": {},\n", stats.scratch));
+    // Reuse-latency spans (bench-runner-v5 era): where the fork tree's
+    // host seconds went — probing, replay verification, forked tails,
+    // result cloning, and scratch fallbacks (DESIGN.md §16).
+    out.push_str(&format!("  \"probe_secs\": {:.3},\n", stats.probe_secs));
+    out.push_str(&format!("  \"replay_secs\": {:.3},\n", stats.replay_secs));
+    out.push_str(&format!("  \"resume_secs\": {:.3},\n", stats.resume_secs));
+    out.push_str(&format!("  \"clone_secs\": {:.3},\n", stats.clone_secs));
+    out.push_str(&format!("  \"scratch_secs\": {:.3},\n", stats.scratch_secs));
     if let Some(s) = scratch {
         out.push_str(&format!(
             "  \"noshare_epochs_simulated\": {},\n",
@@ -711,7 +719,7 @@ fn write_json(
     )
     .and_then(|()| std::fs::write(path, &out))
     {
-        Ok(()) => eprintln!("[sweep] wrote {path}"),
-        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        Ok(()) => logx::info(&format!("[sweep] wrote {path}")),
+        Err(e) => logx::warn(&format!("could not write {path}: {e}")),
     }
 }

@@ -32,6 +32,7 @@ use engine::{
 };
 use numa_topology::MachineSpec;
 use profiling::{EpochCounters, IbsSample};
+use std::time::Instant;
 use vmem::ThpControls;
 
 /// Default checkpoint-cache budget when `CARREFOUR_FORK_CACHE_MB` is
@@ -146,7 +147,7 @@ fn replay_boundary(
 /// Per-family execution counters, persisted into `BENCH_runner.json`
 /// (bench-runner-v4) and `SWEEP_lp.json` (sweep-v1). Replay boundary
 /// evaluations are *not* simulated epochs — no rounds run during replay.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FamilyStats {
     /// Cells in the family (including the probe).
     pub cells: usize,
@@ -161,6 +162,18 @@ pub struct FamilyStats {
     /// Siblings run from epoch 0 (divergence before the first cached
     /// checkpoint, cache eviction, or a policy-name mismatch).
     pub scratch: u64,
+    /// Host seconds of the probe's full observed run.
+    pub probe_secs: f64,
+    /// Host seconds spent replaying recorded boundaries (divergence
+    /// search plus forked-policy prefix rebuilds) — the price of asking
+    /// "can this sibling share?".
+    pub replay_secs: f64,
+    /// Host seconds simulating forked siblings' tails.
+    pub resume_secs: f64,
+    /// Host seconds cloning full-match results off the probe.
+    pub clone_secs: f64,
+    /// Host seconds of scratch fallback runs.
+    pub scratch_secs: f64,
 }
 
 impl FamilyStats {
@@ -172,6 +185,11 @@ impl FamilyStats {
         self.full_matches += other.full_matches;
         self.forks += other.forks;
         self.scratch += other.scratch;
+        self.probe_secs += other.probe_secs;
+        self.replay_secs += other.replay_secs;
+        self.resume_secs += other.resume_secs;
+        self.clone_secs += other.clone_secs;
+        self.scratch_secs += other.scratch_secs;
     }
 }
 
@@ -227,6 +245,7 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
         };
         let cell = run_scratch(spec, &spec.machine, &wspec, &config, traced, &mut stats);
         stats.scratch = 0; // a lone probe is a plain run, not a fallback
+        stats.probe_secs = std::mem::take(&mut stats.scratch_secs);
         return (vec![cell], stats);
     }
     let key = specs[0].family_key();
@@ -256,6 +275,7 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
     let mut out = Vec::with_capacity(specs.len());
 
     // --- Probe: one full observed run. ---
+    let probe_t = Instant::now();
     let mut probe_policy = probe_spec.make_policy();
     let probe_name = probe_policy.name().to_string();
     let (mut probe_result, probe_digest) = if traced {
@@ -283,6 +303,7 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
         (r, None)
     };
     stats.epochs_simulated += probe_result.epochs.len() as u64;
+    stats.probe_secs += probe_t.elapsed().as_secs_f64();
     probe_result.policy = probe_spec.policy_label();
     let probe_plain = {
         // Siblings that fully match clone this (with their own label).
@@ -306,6 +327,7 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
             ));
             continue;
         }
+        let replay_t = Instant::now();
         let mut divergence = None;
         for rec in &recorder.records {
             if replay_boundary(machine, rec, fresh.as_mut()) != rec.fingerprint {
@@ -313,9 +335,11 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
                 break;
             }
         }
+        stats.replay_secs += replay_t.elapsed().as_secs_f64();
         let Some(div_epoch) = divergence else {
             // Every boundary's outputs matched: the sibling's run *is*
             // the probe's run.
+            let clone_t = Instant::now();
             stats.epochs_reused += probe_plain.epochs.len() as u64;
             stats.full_matches += 1;
             let mut result = probe_plain.clone();
@@ -324,6 +348,7 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
                 result,
                 digest: probe_digest.clone(),
             });
+            stats.clone_secs += clone_t.elapsed().as_secs_f64();
             continue;
         };
         let Some(ckpt) = recorder.cache.deepest_at_most(div_epoch) else {
@@ -338,10 +363,13 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
         // instance replayed over the already-verified prefix. (`fresh`
         // itself processed the divergent boundary, so its state is past
         // the fork point and cannot be used.)
+        let rebuild_t = Instant::now();
         let mut forked = spec.make_policy();
         for rec in &recorder.records[..fork_epoch as usize] {
             replay_boundary(machine, rec, forked.as_mut());
         }
+        stats.replay_secs += rebuild_t.elapsed().as_secs_f64();
+        let resume_t = Instant::now();
         let (mut result, digest) = if traced {
             let mut sink = DigestSink::new();
             let r = Simulation::resume_forked_traced(
@@ -361,6 +389,7 @@ pub fn run_family(specs: &[CellSpec], traced: bool) -> (Vec<FamilyCell>, FamilyS
         };
         stats.epochs_reused += u64::from(fork_epoch);
         stats.epochs_simulated += result.epochs.len() as u64 - u64::from(fork_epoch);
+        stats.resume_secs += resume_t.elapsed().as_secs_f64();
         stats.forks += 1;
         result.policy = spec.policy_label();
         out.push(FamilyCell { result, digest });
@@ -378,6 +407,7 @@ fn run_scratch(
     traced: bool,
     stats: &mut FamilyStats,
 ) -> FamilyCell {
+    let t = Instant::now();
     let mut policy = spec.make_policy();
     let (mut result, digest) = if traced {
         let mut sink = DigestSink::new();
@@ -391,6 +421,7 @@ fn run_scratch(
     };
     stats.epochs_simulated += result.epochs.len() as u64;
     stats.scratch += 1;
+    stats.scratch_secs += t.elapsed().as_secs_f64();
     result.policy = spec.policy_label();
     FamilyCell { result, digest }
 }

@@ -107,7 +107,7 @@ impl Journal {
     fn append(&self, line: &str) {
         let mut f = self.file.lock().unwrap();
         if let Err(e) = writeln!(f, "{line}").and_then(|()| f.flush()) {
-            eprintln!("warning: could not append to {}: {e}", self.path.display());
+            crate::logx::warn(&format!("could not append to {}: {e}", self.path.display()));
         }
     }
 }

@@ -18,6 +18,8 @@ pub mod experiments;
 pub mod forktree;
 pub mod golden;
 pub mod journal;
+pub mod logx;
+pub mod report;
 pub mod runner;
 
 /// Whether experiment binaries should record the cycle-attribution ledger
@@ -233,12 +235,12 @@ pub fn improvement(
 pub fn save_json(name: &str, cells: &[Cell]) {
     let dir = std::path::Path::new("results");
     if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("warning: could not create {}: {e}", dir.display());
+        logx::warn(&format!("could not create {}: {e}", dir.display()));
         return;
     }
     let path = dir.join(format!("{name}.json"));
     if let Err(e) = std::fs::write(&path, json::cells_to_json(cells)) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        logx::warn(&format!("could not write {}: {e}", path.display()));
     }
 }
 

@@ -128,6 +128,16 @@ impl CellSpec {
         )
     }
 
+    /// [`CellSpec::describe`] plus the family tag when present — the
+    /// runner's panic and watchdog lines use this so fork-tree failures
+    /// can be grepped by family.
+    pub fn describe_with_family(&self) -> String {
+        match &self.family {
+            Some(f) => format!("{} [family {f}]", self.describe()),
+            None => self.describe(),
+        }
+    }
+
     /// Dedup key: two cells with equal keys are guaranteed (by
     /// determinism) to produce equal results. `Debug` formatting covers
     /// every field that feeds the simulation.
@@ -406,7 +416,7 @@ where
             }
             Err(p) => {
                 let msg = panic_message(p.as_ref());
-                eprintln!("[runner] cell {} panicked: {msg}", describe(i));
+                crate::logx::warn(&format!("[runner] cell {} panicked: {msg}", describe(i)));
                 CellOutcome::Panicked { msg }
             }
         }
@@ -448,10 +458,10 @@ where
                             .is_some_and(|t0| t0.elapsed().as_secs_f64() > deadline_secs);
                         if overdue {
                             *w = true;
-                            eprintln!(
+                            crate::logx::warn(&format!(
                                 "[runner] watchdog: cell {} still running after {deadline_secs:.0}s",
                                 describe(i)
-                            );
+                            ));
                         }
                     }
                 }
@@ -694,6 +704,44 @@ impl Progress {
     }
 }
 
+/// Span-level profile of one cell's trip through the runner (the flight
+/// recorder's runner layer, DESIGN.md §16). All host-side wall clock,
+/// purely observational. For cells restored from the crash journal (which
+/// stores results, not scheduler metadata) every span is an honest zero
+/// and [`CellSpans::from_journal`] is set.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellSpans {
+    /// Seconds the cell waited in the queue: suite submission → the
+    /// moment a worker picked it up.
+    pub queue_wait_secs: f64,
+    /// Seconds inside the simulation proper (`run_spec`).
+    pub simulate_secs: f64,
+    /// Seconds merging the result back into the suite (progress tick and
+    /// row assembly; the crash-journal append runs after the row exists
+    /// and is not included).
+    pub merge_secs: f64,
+    /// Which worker thread ran the cell (0-based, in order of first
+    /// pickup — stable within a run, not across runs).
+    pub worker: usize,
+    /// Free lanes in the shard-lane pool when the cell started.
+    pub lanes_free_start: usize,
+    /// Free lanes when the cell finished.
+    pub lanes_free_done: usize,
+    /// True when the row was restored from the crash journal (spans are
+    /// zeros: the work happened in an earlier process).
+    pub from_journal: bool,
+}
+
+impl CellSpans {
+    /// The spans of a journal-restored row: honest zeros plus the flag.
+    pub fn journal_restored() -> Self {
+        CellSpans {
+            from_journal: true,
+            ..CellSpans::default()
+        }
+    }
+}
+
 /// One executed cell plus its host wall-clock cost (the wall clock is
 /// observability only — it never feeds back into simulated results).
 pub struct TimedCell {
@@ -705,6 +753,9 @@ pub struct TimedCell {
     /// recorded so `BENCH_runner.json` can report estimate-vs-actual per
     /// cell.
     pub estimated_ops: u64,
+    /// Where those seconds went (queue wait, simulate, merge) and where
+    /// the cell ran.
+    pub spans: CellSpans,
 }
 
 /// Longest-first execution order over `specs`, by
@@ -754,18 +805,35 @@ where
 {
     let (schedule, est) = longest_first_schedule(specs);
     progress.expect_ops(est.iter().sum());
+    // Span profiling state. `suite_start` anchors queue-wait; workers are
+    // numbered in order of first pickup via their thread id (the pool's
+    // threads are anonymous, the map names them). Purely observational.
+    let suite_start = Instant::now();
+    let worker_of: std::sync::Mutex<std::collections::HashMap<std::thread::ThreadId, usize>> =
+        std::sync::Mutex::new(std::collections::HashMap::new());
     par_map_outcomes_scheduled(
         jobs,
         specs.len(),
         cell_deadline_secs(),
         Some(schedule),
-        |i| specs[i].describe(),
+        // Panic and watchdog lines carry the family tag (when present)
+        // so fork-tree failures grep by family.
+        |i| specs[i].describe_with_family(),
         |i| {
             let spec = &specs[i];
+            let queue_wait_secs = suite_start.elapsed().as_secs_f64();
+            let worker = {
+                let id = std::thread::current().id();
+                let mut m = worker_of.lock().unwrap();
+                let n = m.len();
+                *m.entry(id).or_insert(n)
+            };
+            let lanes_free_start = engine::lanes::available();
             let ticket = progress.cell_started(est[i]);
             let t = Instant::now();
             let result = run_spec(spec);
             let wall_secs = t.elapsed().as_secs_f64();
+            let merge_t = Instant::now();
             progress.cell_done_ticket(&spec.describe(), result.lifetime.total_ops, ticket);
             let timed = TimedCell {
                 cell: Cell {
@@ -776,6 +844,15 @@ where
                 },
                 wall_secs,
                 estimated_ops: est[i],
+                spans: CellSpans {
+                    queue_wait_secs,
+                    simulate_secs: wall_secs,
+                    merge_secs: merge_t.elapsed().as_secs_f64(),
+                    worker,
+                    lanes_free_start,
+                    lanes_free_done: engine::lanes::available(),
+                    from_journal: false,
+                },
             };
             on_done(i, &timed);
             timed

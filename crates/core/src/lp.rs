@@ -4,7 +4,7 @@ use crate::classic::Carrefour;
 use crate::config::{CarrefourConfig, LpParams, LpThresholds, RobustnessConfig};
 use crate::lar;
 use crate::robust::{CircuitBreaker, RetryQueue};
-use engine::{EpochCtx, NumaPolicy, PolicyAction, PolicyDecision};
+use engine::{EpochCtx, NumaPolicy, PolicyAction, PolicyDecision, PolicyIntrospection};
 use profiling::IbsSample;
 use std::collections::{BTreeMap, BTreeSet};
 use vmem::PageSize;
@@ -433,6 +433,17 @@ impl NumaPolicy for CarrefourLp {
         self.issued_moves = d.u64();
         self.issued_splits = d.u64();
         d.finish();
+    }
+
+    fn introspect(&self, epoch: u32) -> Option<PolicyIntrospection> {
+        Some(PolicyIntrospection {
+            retry_queue_depth: self.retry.len(),
+            retries_abandoned: self.retry.abandoned,
+            split_breaker_open: self.split_breaker.is_open(epoch),
+            move_breaker_open: self.move_breaker.is_open(epoch),
+            split_breaker_trips: self.split_breaker.trips,
+            move_breaker_trips: self.move_breaker.trips,
+        })
     }
 }
 

@@ -38,6 +38,7 @@ mod config;
 mod faults;
 pub mod lanes;
 mod policy;
+pub mod recorder;
 mod result;
 mod sim;
 pub mod trace;
@@ -45,7 +46,13 @@ pub mod trace;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::SimConfig;
 pub use faults::{FaultConfig, FaultCounters, FaultPlan, FaultRates, MemoryPressure};
-pub use policy::{ActionError, EpochCtx, FailedAction, NullPolicy, NumaPolicy, PolicyAction};
+pub use policy::{
+    ActionError, EpochCtx, FailedAction, NullPolicy, NumaPolicy, PolicyAction, PolicyIntrospection,
+};
+pub use recorder::{
+    JsonlMetricsRecorder, MetricsRecorder, MetricsRow, MetricsSample, PageSnapshot, RunInfo,
+    TeeMetricsRecorder, VecMetricsRecorder,
+};
 pub use result::{
     AttributionLedger, EpochAttribution, EpochRecord, LifetimeStats, PageMetrics, RobustnessStats,
     SimResult,

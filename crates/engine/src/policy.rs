@@ -225,6 +225,28 @@ impl<'a> EpochCtx<'a> {
     }
 }
 
+/// A read-only snapshot of a policy's failure-handling machinery at one
+/// epoch boundary, reported through [`NumaPolicy::introspect`] for the
+/// metrics recorder (DESIGN.md §16). Policies without retry queues or
+/// circuit breakers report `None`; the recorder serializes that as JSON
+/// `null` so the metrics stream distinguishes "no machinery" from "all
+/// quiet".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolicyIntrospection {
+    /// Failed actions currently waiting in the retry queue.
+    pub retry_queue_depth: usize,
+    /// Actions abandoned after exhausting their retry budget (lifetime).
+    pub retries_abandoned: u64,
+    /// Whether the split circuit breaker is open at this boundary.
+    pub split_breaker_open: bool,
+    /// Whether the migration circuit breaker is open at this boundary.
+    pub move_breaker_open: bool,
+    /// Lifetime trip count of the split breaker.
+    pub split_breaker_trips: u64,
+    /// Lifetime trip count of the migration breaker.
+    pub move_breaker_trips: u64,
+}
+
 /// A NUMA memory-placement policy invoked at every epoch boundary.
 pub trait NumaPolicy {
     /// Display name (used in experiment output).
@@ -254,6 +276,15 @@ pub trait NumaPolicy {
     /// freshly-constructed instance of the same policy. The default
     /// ignores the bytes (stateless policies).
     fn restore_state(&mut self, _bytes: &[u8]) {}
+
+    /// Read-only view of the policy's failure-handling state at the
+    /// boundary closing `epoch`, sampled by the metrics recorder. Must be
+    /// a pure observation: implementations may not mutate anything, so an
+    /// introspected run stays bit-identical to an uninspected one. The
+    /// default (`None`) is for policies without retry/breaker machinery.
+    fn introspect(&self, _epoch: u32) -> Option<PolicyIntrospection> {
+        None
+    }
 }
 
 /// The do-nothing policy: plain Linux (whatever the initial THP switches

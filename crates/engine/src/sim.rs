@@ -4,6 +4,7 @@ use crate::checkpoint::{self, Checkpoint};
 use crate::config::SimConfig;
 use crate::faults::FaultPlan;
 use crate::policy::{ActionError, EpochCtx, FailedAction, NumaPolicy, PolicyAction};
+use crate::recorder::{MetricsRecorder, MetricsSample, PageSnapshot, RunInfo};
 use crate::result::{
     AttributionLedger, EpochAttribution, EpochRecord, LifetimeStats, PageMetrics, RobustnessStats,
     SimResult,
@@ -1030,6 +1031,7 @@ impl Simulation {
             setup,
             sink,
             None,
+            None,
             RunMode::Full,
         )
         .expect("a full run always produces a result")
@@ -1055,6 +1057,36 @@ impl Simulation {
             |_| {},
             sink,
             Some(observer),
+            None,
+            RunMode::Full,
+        )
+        .expect("a full run always produces a result")
+    }
+
+    /// Like [`Simulation::run_traced`] (the `sink` is optional), with a
+    /// [`crate::MetricsRecorder`] attached: the recorder receives one
+    /// [`crate::MetricsSample`] per epoch boundary — the flight recorder's
+    /// per-epoch time-series (DESIGN.md §16). Recording is purely
+    /// observational: the returned [`SimResult`] (ledger and trace digest
+    /// included) is bit-identical to an unrecorded run of the same inputs,
+    /// which `carrefour-bench/tests/metrics_equivalence.rs` proptests.
+    pub fn run_recorded(
+        machine: &MachineSpec,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+        policy: &mut dyn NumaPolicy,
+        sink: Option<&mut dyn TraceSink>,
+        recorder: &mut dyn MetricsRecorder,
+    ) -> SimResult {
+        Simulation::run_internal(
+            machine,
+            spec,
+            config,
+            policy,
+            |_| {},
+            sink,
+            None,
+            Some(recorder),
             RunMode::Full,
         )
         .expect("a full run always produces a result")
@@ -1098,6 +1130,7 @@ impl Simulation {
             setup,
             sink,
             None,
+            None,
             RunMode::CheckpointAt {
                 epoch,
                 out: &mut out,
@@ -1139,6 +1172,7 @@ impl Simulation {
             policy,
             setup,
             sink,
+            None,
             None,
             RunMode::Resume {
                 ckpt,
@@ -1185,6 +1219,7 @@ impl Simulation {
             |_| {},
             sink,
             None,
+            None,
             RunMode::Resume {
                 ckpt,
                 restore_policy: false,
@@ -1206,6 +1241,7 @@ impl Simulation {
         setup: impl FnOnce(&mut AddressSpace),
         sink: Option<&mut dyn TraceSink>,
         mut observer: Option<&mut dyn RunObserver>,
+        mut recorder: Option<&mut dyn MetricsRecorder>,
         mut mode: RunMode<'_>,
     ) -> Option<SimResult> {
         assert!(
@@ -1308,6 +1344,25 @@ impl Simulation {
         let mut core_bds = vec![CycleBreakdown::default(); attrib_threads];
         let mut core_totals = vec![CycleBreakdown::default(); attrib_threads];
         let mut attrib_epochs: Vec<EpochAttribution> = Vec::new();
+
+        // Flight-recorder state (DESIGN.md §16). TLB and walk-cache
+        // counters are lifetime-cumulative, so per-epoch rates need the
+        // previous boundary's totals — tracked only inside the recorder
+        // guard; an unrecorded run pays one `Option` test per boundary
+        // and nothing else. Every recorder read is `&self` (counters
+        // already computed, page-stat aggregation, policy introspection),
+        // so recorded runs stay bit-identical to unrecorded ones.
+        let mut rec_prev_tlb = (0u64, 0u64, 0u64);
+        let mut rec_prev_walk = (0u64, 0u64);
+        if let Some(rec) = recorder.as_deref_mut() {
+            rec.on_run_start(&RunInfo {
+                workload: &spec.name,
+                policy: policy.name(),
+                machine: machine.name(),
+                threads: spec.threads,
+                nodes: machine.num_nodes(),
+            });
+        }
 
         if let RunMode::Resume {
             ckpt,
@@ -1697,6 +1752,60 @@ impl Simulation {
                 }
                 epoch_wall_bd = CycleBreakdown::default();
             }
+            if let Some(rec) = recorder.as_deref_mut() {
+                // The flight-recorder sample for the epoch this boundary
+                // closed. `epoch_wall` still holds the epoch's full wall
+                // cycles (boundary overhead included) and the per-epoch
+                // accumulators are not yet reset; the counters moved into
+                // `epochs` are read back off its tail. Everything here is
+                // a pure observation — see the bit-identity contract above.
+                let (l1h, l2h, tmiss) = st.tlbs.iter().fold((0u64, 0u64, 0u64), |acc, t| {
+                    let s = t.stats();
+                    (acc.0 + s.l1_hits, acc.1 + s.l2_hits, acc.2 + s.misses)
+                });
+                let (wh, wm) = st.walk_caches.iter().fold((0u64, 0u64), |acc, w| {
+                    (acc.0 + w.hits(), acc.1 + w.misses())
+                });
+                let pages = st.page_stats.as_ref().map(|ps| {
+                    let space = st.space.get();
+                    let rows = ps.aggregate(|base4k| {
+                        space
+                            .translate(VirtAddr(base4k))
+                            .map(|m| m.vbase.0)
+                            .unwrap_or(base4k)
+                    });
+                    PageSnapshot {
+                        pamup: metrics::pamup(&rows),
+                        nhp: metrics::nhp(&rows),
+                        psp: metrics::psp(&rows),
+                    }
+                });
+                let rec_counters = &epochs.last().expect("boundary just pushed").counters;
+                rec.on_epoch(&MetricsSample {
+                    epoch: epoch_index,
+                    epoch_cycles: epoch_wall,
+                    mem_ops: rec_counters.mem_ops,
+                    imbalance: metrics::imbalance(&rec_counters.controller_requests),
+                    lar: mem_stats.lar(),
+                    walk_miss_fraction: rec_counters.walk_miss_fraction(),
+                    controller_requests: &rec_counters.controller_requests,
+                    tlb_l1_hits: l1h - rec_prev_tlb.0,
+                    tlb_l2_hits: l2h - rec_prev_tlb.1,
+                    tlb_misses: tmiss - rec_prev_tlb.2,
+                    walk_cache_hits: wh - rec_prev_walk.0,
+                    walk_cache_misses: wm - rec_prev_walk.1,
+                    migrations,
+                    splits,
+                    collapses: collapsed.len() as u64,
+                    failed_actions: last_failures.len() as u64,
+                    pages,
+                    policy: policy.introspect(epoch_index),
+                    attrib: attrib_epochs.last().map(|e| &e.wall),
+                    lanes_free: crate::lanes::available(),
+                });
+                rec_prev_tlb = (l1h, l2h, tmiss);
+                rec_prev_walk = (wh, wm);
+            }
             st.fault_epoch.iter_mut().for_each(|c| *c = 0);
             epoch_wall = 0;
             epoch_ops = 0;
@@ -1836,6 +1945,9 @@ impl Simulation {
 
         if let Some(t) = st.trace.as_mut() {
             t.finish();
+        }
+        if let Some(rec) = recorder {
+            rec.finish();
         }
 
         let attribution = if attrib_on {

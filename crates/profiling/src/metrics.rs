@@ -173,4 +173,44 @@ mod tests {
         assert_eq!(nhp(&at), 1, "only the 940-count page is hot");
         assert_eq!(nhp(&over), 2, "61/1000 is strictly over 6 %");
     }
+
+    #[test]
+    fn single_page_takes_the_whole_profile() {
+        // One page receives every access: PAMUP is 100 % by definition,
+        // the page is trivially hot (100 % > 6 %), and sharing follows
+        // its mask alone.
+        let private = [(0u64, 123u64, 0b1u64)];
+        assert!((pamup(&private) - 100.0).abs() < 1e-12);
+        assert_eq!(nhp(&private), 1);
+        assert_eq!(psp(&private), 0.0, "one accessing thread is private");
+        let shared = [(0u64, 123u64, 0b101u64)];
+        assert!((psp(&shared) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_bit_masks_are_private_whatever_the_bit() {
+        // PSP counts *pages accessed by more than one thread*; a mask
+        // with exactly one bit set is private no matter which thread's
+        // bit it is (including the highest).
+        let pages = [
+            (0u64, 10u64, 1u64 << 0),
+            (4096, 20, 1 << 7),
+            (8192, 30, 1 << 63),
+        ];
+        assert_eq!(psp(&pages), 0.0);
+        // Flipping a second bit on the heaviest page moves exactly its
+        // weight into the shared share.
+        let half = [(0u64, 50u64, 1u64 << 63), (4096, 50, (1 << 63) | 1)];
+        assert!((psp(&half) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nhp_boundary_survives_fractional_thresholds() {
+        // 50 accesses: the threshold is 3.0 exactly — a 3-count page sits
+        // *at* 6 % and must not count; 4 counts (8 %) must. This guards
+        // the `>` against an `>=` regression where the product
+        // `HOT_PAGE_FRACTION * total` is representable exactly.
+        let rows = [(0u64, 3u64, 1u64), (4096, 4, 1), (8192, 43, 1)];
+        assert_eq!(nhp(&rows), 2, "3/50 is exactly 6% and not hot");
+    }
 }
